@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or one of the
+extension tables listed in DESIGN.md), times it with pytest-benchmark and
+prints the same rows/series the paper reports so the output can be compared
+side by side with the publication (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _emit(title: str, body: str) -> None:
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture
+def emit():
+    """Print a clearly delimited report block (visible with ``pytest -s``)."""
+    return _emit

@@ -1,0 +1,40 @@
+"""Table B (ablation) — trust-weighted detection (Eq. 8) vs baselines.
+
+Every method is fed the exact same investigation answers produced by the
+paper's 16-node / 4-liar scenario; the comparison reports the first round at
+which each method classifies the attacker as an intruder and its final score.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_series, format_table, run_ablation
+from repro.experiments.config import paper_default_config
+
+
+def _run():
+    return run_ablation(paper_default_config())
+
+
+def test_bench_ablation_trust_weighting_vs_baselines(benchmark, emit):
+    result = benchmark(_run)
+
+    table = format_table(result.as_rows(),
+                         title="Table B — detection round and final score per method")
+    series = format_series(
+        {name: t.scores for name, t in result.methods.items()},
+        title="Score trajectory per method (same answer stream)",
+    )
+    emit("TABLE B (Ablation / baseline comparison)", table + "\n\n" + series)
+
+    ours = result.methods["trust-weighted"]
+    vote = result.methods["unweighted-vote"]
+    assert ours.final_score < vote.final_score
+    assert ours.final_score < -0.8
+    assert ours.detection_round is not None
+
+    benchmark.extra_info["final_scores"] = {
+        name: round(t.final_score, 3) for name, t in result.methods.items()
+    }
+    benchmark.extra_info["detection_rounds"] = {
+        name: t.detection_round for name, t in result.methods.items()
+    }

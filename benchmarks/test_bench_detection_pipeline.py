@@ -1,0 +1,52 @@
+"""End-to-end pipeline bench — canonical full-stack scenario.
+
+Times the complete pipeline of the paper on the deterministic 6-node
+topology: OLSR convergence, link-spoofing attack, log analysis (E1/E2),
+cooperative investigation over suspect-avoiding paths, trust updates and the
+final verdict.
+"""
+
+from __future__ import annotations
+
+from repro.core.decision import DecisionOutcome
+from repro.experiments import format_table
+from repro.experiments.scenario import build_canonical_scenario
+
+
+def _run_pipeline():
+    scenario = build_canonical_scenario(seed=11, attack_start=40.0)
+    scenario.warm_up(35.0)
+    scenario.victim.detection_round()
+    results = []
+    for _ in range(12):
+        results.extend(scenario.run_detection_cycle(10.0))
+    return scenario, results
+
+
+def test_bench_full_detection_pipeline(benchmark, emit):
+    scenario, results = benchmark.pedantic(_run_pipeline, rounds=1, iterations=1)
+
+    attacker_rounds = [r for r in results if r.suspect == "attacker"]
+    rows = [
+        {
+            "cycle": index,
+            "detect": round(r.decision.detect_value, 3),
+            "margin": round(r.decision.interval.margin, 3),
+            "outcome": str(r.decision.outcome),
+        }
+        for index, r in enumerate(attacker_rounds)
+    ]
+    trust_rows = [
+        {"node": node, "trust": round(value, 3)}
+        for node, value in sorted(scenario.victim.trust_table().items())
+    ]
+    emit("END-TO-END PIPELINE (canonical scenario)",
+         format_table(rows, title="Verdict on the attacker per detection cycle")
+         + "\n\n" + format_table(trust_rows, title="Victim's final trust table"))
+
+    assert attacker_rounds[-1].decision.outcome == DecisionOutcome.INTRUDER
+    assert scenario.victim.trust.trust_of("attacker") < 0.1
+    benchmark.extra_info["final_detect"] = round(attacker_rounds[-1].decision.detect_value, 3)
+    benchmark.extra_info["cycles_to_verdict"] = next(
+        (i for i, r in enumerate(attacker_rounds)
+         if r.decision.outcome == DecisionOutcome.INTRUDER), None)

@@ -1,0 +1,37 @@
+"""Figure 1 — Trustworthiness (trust of every node as seen by the attacked node).
+
+Paper shape: the trust assigned to liars decreases, largely and monotonically,
+regardless of the initial value; well-behaving nodes gain a little; the groups
+separate clearly after 25 rounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, format_trajectories, run_figure1
+from repro.experiments.config import paper_default_config
+
+
+
+
+def _run():
+    return run_figure1(paper_default_config())
+
+
+def test_bench_figure1_trust_trajectories(benchmark, emit):
+    result = benchmark(_run)
+
+    roles = {node: result.experiment.role_of(node) for node in result.trajectories}
+    series = format_trajectories(result.trajectories, roles=roles,
+                                 title="Figure 1 — trust per node across 25 rounds")
+    table = format_table(result.rows(), title="Figure 1 — initial vs final trust")
+    emit("FIGURE 1 (Trustworthiness)", series + "\n\n" + table)
+
+    report = result.trajectory_report()
+    assert report.liars_all_decreasing()
+    assert report.honest_all_non_decreasing()
+    assert report.final_separation() > 0.3
+
+    benchmark.extra_info["separation"] = round(report.final_separation(), 4)
+    benchmark.extra_info["attacker_final_trust"] = round(
+        result.trajectories[result.attacker][-1], 4)
+    benchmark.extra_info["liar_count"] = len(result.liars)

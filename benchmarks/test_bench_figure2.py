@@ -1,0 +1,38 @@
+"""Figure 2 — Impact of the forgetting factor on the trustworthiness.
+
+Paper shape: after the attack ceases, nodes with a high or medium trust value
+return to the default (0.4) in the last rounds, while former liars recover
+slowly and may not reach it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, format_trajectories, run_figure2
+from repro.experiments.config import figure2_config
+
+
+
+
+def _run():
+    return run_figure2(figure2_config())
+
+
+def test_bench_figure2_forgetting_factor(benchmark, emit):
+    result = benchmark(_run)
+
+    roles = {node: result.experiment.role_of(node) for node in result.trajectories}
+    series = format_trajectories(
+        result.trajectories, roles=roles,
+        title=f"Figure 2 — trust with attack stopping at round {result.attack_stop_round}")
+    table = format_table(result.rows(), title="Figure 2 — recovery toward the default trust")
+    emit("FIGURE 2 (Forgetting factor)", series + "\n\n" + table)
+
+    gaps = result.recovery_gaps()
+    honest_gaps = [abs(gaps[n]) for n in result.experiment.honest_responders]
+    liar_gaps = [gaps[n] for n in result.experiment.liars]
+    assert max(honest_gaps) < 0.1
+    assert min(liar_gaps) > 0.05
+
+    benchmark.extra_info["attack_stop_round"] = result.attack_stop_round
+    benchmark.extra_info["max_honest_gap"] = round(max(honest_gaps), 4)
+    benchmark.extra_info["min_liar_gap"] = round(min(liar_gaps), 4)

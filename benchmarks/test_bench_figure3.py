@@ -1,0 +1,38 @@
+"""Figure 3 — Impact of liars on the detection.
+
+Paper shape: the more liars, the slower Detect^{A,I} converges, but it falls
+below −0.4 by round 10 even with ≈ 43 % liars and reaches ≈ −0.8 for every
+liar ratio in the last rounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_series, format_table, run_figure3
+from repro.experiments.config import figure3_configs
+
+
+
+
+def _run():
+    return run_figure3(figure3_configs())
+
+
+def test_bench_figure3_liar_impact(benchmark, emit):
+    result = benchmark(_run)
+
+    series = format_series(result.detect_series(),
+                           title="Figure 3 — Detect^{A,I} per round, by liar ratio")
+    table = format_table(result.rows(), title="Figure 3 — convergence summary")
+    emit("FIGURE 3 (Impact of liars)", series + "\n\n" + table)
+
+    detect = result.detect_series()
+    for label, values in detect.items():
+        assert values[10] <= -0.4, f"{label} not below -0.4 by round 10"
+        assert values[-1] <= -0.75, f"{label} did not converge"
+    convergence = result.convergence_rounds(-0.4)
+    assert convergence["6.7%"] <= convergence["26.3%"] <= convergence["43.2%"]
+
+    benchmark.extra_info["final_detect"] = {
+        label: round(value, 3) for label, value in result.final_values().items()
+    }
+    benchmark.extra_info["rounds_to_minus_0.4"] = convergence

@@ -1,0 +1,30 @@
+"""Extension bench — evidence-gravity weighting ablation.
+
+The paper's future work proposes "different weighting of the evidences
+according to their gravity/reputability"; this bench sweeps the harmful
+evidence weight α and reports detection speed, liar punishment and honest
+collateral for each asymmetry level.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, run_gravity_ablation
+from repro.experiments.config import paper_default_config
+
+
+def _run():
+    return run_gravity_ablation(harmful_alphas=(0.02, 0.04, 0.08, 0.16),
+                                base_config=paper_default_config())
+
+
+def test_bench_gravity_weighting_ablation(benchmark, emit):
+    result = benchmark(_run)
+
+    emit("EXTENSION (Evidence gravity ablation)",
+         format_table(result.as_rows(),
+                      title="Harmful-evidence weight α vs detection speed and punishment"))
+
+    assert result.liar_punishment_increases_with_asymmetry()
+    for row in result.rows:
+        assert row.final_detect < -0.5
+    benchmark.extra_info["rows"] = result.as_rows()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare the paper's trust-weighted detection against the related-work baselines.
+
+All methods receive the exact same stream of investigation answers produced by
+the paper's 16-node scenario (10 honest responders denying the spoofed link,
+4 colluding liars confirming it):
+
+* ``trust-weighted``  — the paper's Eq. 8 aggregate + entropy trust system,
+* ``unweighted-vote`` — plain majority voting (no trust),
+* ``cap-olsr``        — entropy trust over raw observation counts,
+* ``beta-reputation`` — Bayesian Beta reputation with deviation test,
+* ``report-averaging``— cumulative average of the reports.
+
+Usage::
+
+    python examples/baseline_comparison.py [liar_count]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ScenarioConfig
+from repro.experiments import format_series, format_table, run_ablation
+
+
+def main() -> int:
+    liar_count = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    config = ScenarioConfig(seed=7, liar_count=liar_count)
+    print(f"Scenario: {config.total_nodes} nodes, {liar_count} liars "
+          f"({config.liar_percentage():.1f}% of responders), {config.rounds} rounds\n")
+
+    result = run_ablation(config)
+
+    print(format_table(result.as_rows(),
+                       title="Detection round and final score per method"))
+    print()
+    print(format_series({name: t.scores for name, t in result.methods.items()},
+                        title="Score trajectory per method (lower = attacker flagged)"))
+    print()
+
+    ours = result.methods["trust-weighted"]
+    vote = result.methods["unweighted-vote"]
+    print("Reading:")
+    print(f"  * the trust-weighted aggregate ends at {ours.final_score:+.3f}; the liars'")
+    print("    weight shrinks every round, so their influence fades (paper Figure 3).")
+    print(f"  * the plain vote stays at {vote.final_score:+.3f}: without a trust system the")
+    print("    colluders keep their full voting power forever.")
+    print("  * CAP-OLSR / Beta / averaging treat every report equally, so their score")
+    print("    improves only as slowly as the honest majority accumulates.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Attack implementations against the OLSR substrate.
+
+The paper's taxonomy (Section II-B) distinguishes drop attacks, active-forge
+attacks and modify-and-forward attacks; the paper's own developed attack is
+the *link spoofing* active forge.  Every class installs hooks on the victim
+node (HELLO/TC mutators, forward filters, message taps, answer mutators)
+rather than patching the protocol implementation.
+"""
+
+from repro.attacks.base import Attack, AttackSchedule
+from repro.attacks.dropping import BlackholeAttack, GrayholeAttack, SelectiveDropFilter
+from repro.attacks.forge import (
+    BroadcastStormAttack,
+    HnaSpoofingAttack,
+    IdentitySpoofingAttack,
+    TcTamperingAttack,
+    WillingnessManipulationAttack,
+)
+from repro.attacks.liar import LiarBehavior, LieMode
+from repro.attacks.link_spoofing import (
+    LinkSpoofingAttack,
+    spoof_false_link,
+    spoof_non_existent,
+    spoof_omit_neighbor,
+)
+from repro.attacks.replay import ReplayAttack, SequenceNumberHijackAttack, WormholeAttack
+from repro.attacks.scenario import AttackScenario
+
+__all__ = [
+    "Attack",
+    "AttackSchedule",
+    "AttackScenario",
+    "BlackholeAttack",
+    "BroadcastStormAttack",
+    "GrayholeAttack",
+    "HnaSpoofingAttack",
+    "IdentitySpoofingAttack",
+    "LiarBehavior",
+    "LieMode",
+    "LinkSpoofingAttack",
+    "ReplayAttack",
+    "SelectiveDropFilter",
+    "SequenceNumberHijackAttack",
+    "TcTamperingAttack",
+    "WillingnessManipulationAttack",
+    "WormholeAttack",
+    "spoof_false_link",
+    "spoof_non_existent",
+    "spoof_omit_neighbor",
+]

@@ -1,0 +1,92 @@
+"""Attack framework.
+
+An :class:`Attack` installs hooks into a victim-controlled
+:class:`repro.olsr.node.OlsrNode` (or :class:`repro.core.detector_node.DetectorNode`)
+without modifying the protocol implementation itself — mirroring how a
+compromised router behaves from the outside.  Attacks are activated and
+deactivated on a schedule, so experiments can model attacks that cease
+mid-run (Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class AttackSchedule:
+    """Activation window of an attack ``[start_time, stop_time)``.
+
+    ``stop_time = None`` means the attack lasts for the whole experiment,
+    which is the paper's default ("the attack takes place during the overall
+    experiment, unless specified").
+    """
+
+    start_time: float = 0.0
+    stop_time: Optional[float] = None
+
+    def is_active(self, now: float) -> bool:
+        """Whether the attack is active at simulated time ``now``."""
+        if now < self.start_time:
+            return False
+        if self.stop_time is not None and now >= self.stop_time:
+            return False
+        return True
+
+
+class Attack(abc.ABC):
+    """Base class of every attack implementation."""
+
+    name: str = "attack"
+
+    def __init__(self, schedule: Optional[AttackSchedule] = None) -> None:
+        self.schedule = schedule or AttackSchedule()
+        self.installed_on: List[str] = []
+        self._manual_override: Optional[bool] = None
+
+    # ---------------------------------------------------------------- control
+    def is_active(self, now: float) -> bool:
+        """Whether the attack currently applies (manual override wins)."""
+        if self._manual_override is not None:
+            return self._manual_override
+        return self.schedule.is_active(now)
+
+    def activate(self) -> None:
+        """Force the attack on regardless of the schedule."""
+        self._manual_override = True
+
+    def deactivate(self) -> None:
+        """Force the attack off regardless of the schedule."""
+        self._manual_override = False
+
+    def follow_schedule(self) -> None:
+        """Return control to the schedule after a manual override."""
+        self._manual_override = None
+
+    # ----------------------------------------------------------------- install
+    @abc.abstractmethod
+    def install(self, node) -> None:
+        """Install the attack's hooks on ``node``."""
+
+    def mark_installed(self, node_id: str) -> None:
+        """Record that the attack was installed on ``node_id``."""
+        if node_id not in self.installed_on:
+            self.installed_on.append(node_id)
+
+    def describe(self) -> dict:
+        """Short description used by scenario reports."""
+        return {
+            "name": self.name,
+            "installed_on": list(self.installed_on),
+            "start_time": self.schedule.start_time,
+            "stop_time": self.schedule.stop_time,
+        }
+
+
+def _underlying_olsr(node):
+    """Return the OlsrNode behind either an OlsrNode or a DetectorNode."""
+    if hasattr(node, "olsr"):
+        return node.olsr
+    return node

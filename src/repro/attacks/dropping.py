@@ -1,0 +1,134 @@
+"""Drop attacks: blackhole and grayhole (Section II-B).
+
+A drop attack is characterised by a node that, instead of relaying messages
+it should forward as an MPR, silently discards them.  Dropping everything is
+a *blackhole*; selective or probabilistic dropping is a *grayhole*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Set
+
+from repro.attacks.base import Attack, AttackSchedule, _underlying_olsr
+from repro.olsr.constants import MessageType
+from repro.olsr.messages import OlsrMessage
+
+
+class BlackholeAttack(Attack):
+    """Drop every message the compromised node should have relayed."""
+
+    name = "blackhole"
+
+    def __init__(self, schedule: Optional[AttackSchedule] = None) -> None:
+        super().__init__(schedule)
+        self.dropped_count = 0
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        olsr.forward_filters.append(self._filter)
+        self.mark_installed(olsr.node_id)
+
+    def _filter(self, message: OlsrMessage, last_hop: str, node) -> bool:
+        if not self.is_active(node.now):
+            return True
+        self.dropped_count += 1
+        return False
+
+
+class GrayholeAttack(Attack):
+    """Selective dropping.
+
+    Messages are dropped with probability ``drop_probability``; additionally
+    the drop can be restricted to specific message types and/or originators
+    (e.g. drop only the TC messages of a victim, hiding it from the rest of
+    the network).
+    """
+
+    name = "grayhole"
+
+    def __init__(
+        self,
+        drop_probability: float = 0.5,
+        message_types: Optional[Iterable[MessageType]] = None,
+        victim_originators: Optional[Iterable[str]] = None,
+        schedule: Optional[AttackSchedule] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(schedule)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+        self.message_types: Optional[Set[MessageType]] = (
+            set(message_types) if message_types is not None else None
+        )
+        self.victim_originators: Optional[Set[str]] = (
+            set(victim_originators) if victim_originators is not None else None
+        )
+        self.rng = rng or random.Random(0)
+        self.dropped_count = 0
+        self.relayed_count = 0
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        olsr.forward_filters.append(self._filter)
+        self.mark_installed(olsr.node_id)
+
+    def _filter(self, message: OlsrMessage, last_hop: str, node) -> bool:
+        if not self.is_active(node.now):
+            return True
+        if self.message_types is not None and message.message_type not in self.message_types:
+            self.relayed_count += 1
+            return True
+        if (
+            self.victim_originators is not None
+            and message.originator not in self.victim_originators
+        ):
+            self.relayed_count += 1
+            return True
+        if self.rng.random() < self.drop_probability:
+            self.dropped_count += 1
+            return False
+        self.relayed_count += 1
+        return True
+
+    @property
+    def observed_drop_ratio(self) -> float:
+        """Fraction of eligible messages actually dropped so far."""
+        total = self.dropped_count + self.relayed_count
+        if total == 0:
+            return 0.0
+        return self.dropped_count / total
+
+
+class SelectiveDropFilter(Attack):
+    """Drop messages selected by an arbitrary predicate (building block).
+
+    Used by tests and by composite scenarios that need a drop behaviour not
+    covered by the blackhole/grayhole classes (e.g. drop only investigation
+    traffic).
+    """
+
+    name = "selective-drop"
+
+    def __init__(
+        self,
+        predicate: Callable[[OlsrMessage, str], bool],
+        schedule: Optional[AttackSchedule] = None,
+    ) -> None:
+        super().__init__(schedule)
+        self.predicate = predicate
+        self.dropped_count = 0
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        olsr.forward_filters.append(self._filter)
+        self.mark_installed(olsr.node_id)
+
+    def _filter(self, message: OlsrMessage, last_hop: str, node) -> bool:
+        if not self.is_active(node.now):
+            return True
+        if self.predicate(message, last_hop):
+            self.dropped_count += 1
+            return False
+        return True

@@ -1,0 +1,202 @@
+"""Active-forge attacks: broadcast storm, identity spoofing, willingness
+manipulation and TC tampering (Section II-B).
+
+These attacks inject novel, deceptive control messages (or tamper with the
+ones the node legitimately generates) rather than suppressing traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.attacks.base import Attack, AttackSchedule, _underlying_olsr
+from repro.olsr.constants import Willingness
+from repro.olsr.messages import HelloMessage, OlsrMessage, TcMessage
+from repro.olsr.packet import OlsrPacket
+
+
+class BroadcastStormAttack(Attack):
+    """Exhaust resources by flooding a burst of forged control messages.
+
+    Every ``period`` seconds the compromised node emits ``burst_size`` forged
+    TC messages, optionally spoofing another node's identity to couple the
+    storm with a masquerade (as the paper describes).
+    """
+
+    name = "broadcast-storm"
+
+    def __init__(
+        self,
+        burst_size: int = 20,
+        period: float = 1.0,
+        spoofed_originator: Optional[str] = None,
+        schedule: Optional[AttackSchedule] = None,
+    ) -> None:
+        super().__init__(schedule)
+        if burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.burst_size = burst_size
+        self.period = period
+        self.spoofed_originator = spoofed_originator
+        self.forged_count = 0
+        self._node = None
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        self._node = olsr
+        olsr.simulator.schedule_periodic(self.period, self._emit_burst,
+                                         start_delay=self.schedule.start_time or self.period)
+        self.mark_installed(olsr.node_id)
+
+    def _emit_burst(self) -> None:
+        node = self._node
+        if node is None or not self.is_active(node.now):
+            return
+        originator = self.spoofed_originator or node.node_id
+        for _ in range(self.burst_size):
+            tc = TcMessage(ansn=node.ansn, advertised_neighbors=set(node.symmetric_neighbors()))
+            message = OlsrMessage(originator=originator, body=tc,
+                                  vtime=node.config.topology_hold_time)
+            packet = OlsrPacket.bundle(node.node_id, [message])
+            node.interface.broadcast(packet, size_bytes=packet.size_bytes())
+            self.forged_count += 1
+
+
+class IdentitySpoofingAttack(Attack):
+    """Masquerade: emit HELLOs whose originator field is another node's address."""
+
+    name = "identity-spoofing"
+
+    def __init__(self, spoofed_identity: str, period: float = 2.0,
+                 schedule: Optional[AttackSchedule] = None) -> None:
+        super().__init__(schedule)
+        self.spoofed_identity = spoofed_identity
+        self.period = period
+        self.forged_count = 0
+        self._node = None
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        self._node = olsr
+        olsr.simulator.schedule_periodic(self.period, self._emit_spoofed_hello,
+                                         start_delay=self.period)
+        self.mark_installed(olsr.node_id)
+
+    def _emit_spoofed_hello(self) -> None:
+        node = self._node
+        if node is None or not self.is_active(node.now):
+            return
+        hello = node.build_hello()
+        message = OlsrMessage(originator=self.spoofed_identity, body=hello,
+                              vtime=node.config.neighbor_hold_time, ttl=1)
+        packet = OlsrPacket.bundle(node.node_id, [message])
+        node.interface.broadcast(packet, size_bytes=packet.size_bytes())
+        self.forged_count += 1
+
+
+class WillingnessManipulationAttack(Attack):
+    """Tamper with the willingness field to bias MPR selection.
+
+    ``WILL_ALWAYS`` ensures the compromised node is always selected as MPR
+    (placing it on the forwarding paths); ``WILL_NEVER`` advertised on behalf
+    of a victim would exclude it — here the attacker can only manipulate its
+    own HELLOs, which is the case the paper considers.
+    """
+
+    name = "willingness-manipulation"
+
+    def __init__(self, willingness: Willingness = Willingness.WILL_ALWAYS,
+                 schedule: Optional[AttackSchedule] = None) -> None:
+        super().__init__(schedule)
+        self.willingness = willingness
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        olsr.hello_mutators.append(self._mutate_hello)
+        self.mark_installed(olsr.node_id)
+
+    def _mutate_hello(self, hello: HelloMessage, node) -> HelloMessage:
+        if not self.is_active(node.now):
+            return hello
+        forged = hello.copy()
+        forged.willingness = self.willingness
+        return forged
+
+
+class HnaSpoofingAttack(Attack):
+    """Forge HNA messages announcing external networks the node cannot reach.
+
+    The paper notes that spoofing "the external route(s) in the HNA message"
+    is analogous to link spoofing: victims install routes toward the bogus
+    gateway, which can then drop or inspect the exported traffic.
+    """
+
+    name = "hna-spoofing"
+
+    def __init__(self, spoofed_networks: Iterable[tuple], period: float = 5.0,
+                 schedule: Optional[AttackSchedule] = None) -> None:
+        super().__init__(schedule)
+        self.spoofed_networks = [tuple(entry) for entry in spoofed_networks]
+        if not self.spoofed_networks:
+            raise ValueError("HNA spoofing requires at least one network")
+        self.period = period
+        self.forged_count = 0
+        self._node = None
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        self._node = olsr
+        olsr.simulator.schedule_periodic(self.period, self._emit_forged_hna,
+                                         start_delay=self.period)
+        self.mark_installed(olsr.node_id)
+
+    def _emit_forged_hna(self) -> None:
+        node = self._node
+        if node is None or not self.is_active(node.now):
+            return
+        from repro.olsr.messages import HnaMessage  # local import to avoid cycle at module load
+
+        hna = HnaMessage(networks=list(self.spoofed_networks))
+        message = OlsrMessage(originator=node.node_id, body=hna,
+                              vtime=3 * node.config.tc_interval)
+        packet = OlsrPacket.bundle(node.node_id, [message])
+        node.interface.broadcast(packet, size_bytes=packet.size_bytes())
+        self.forged_count += 1
+
+
+class TcTamperingAttack(Attack):
+    """Tamper with the topology declared in the node's own TC messages.
+
+    ``added_neighbors`` are falsely advertised as MPR selectors (attracting
+    routes through the attacker), ``removed_neighbors`` are withheld from the
+    advertisement (hiding legitimate routes).
+    """
+
+    name = "tc-tampering"
+
+    def __init__(
+        self,
+        added_neighbors: Optional[Iterable[str]] = None,
+        removed_neighbors: Optional[Iterable[str]] = None,
+        schedule: Optional[AttackSchedule] = None,
+    ) -> None:
+        super().__init__(schedule)
+        self.added_neighbors: Set[str] = set(added_neighbors or set())
+        self.removed_neighbors: Set[str] = set(removed_neighbors or set())
+        if not self.added_neighbors and not self.removed_neighbors:
+            raise ValueError("TC tampering requires something to add or remove")
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        olsr.tc_mutators.append(self._mutate_tc)
+        self.mark_installed(olsr.node_id)
+
+    def _mutate_tc(self, tc: TcMessage, node) -> TcMessage:
+        if not self.is_active(node.now):
+            return tc
+        forged = tc.copy()
+        forged.advertised_neighbors |= self.added_neighbors
+        forged.advertised_neighbors -= self.removed_neighbors
+        return forged

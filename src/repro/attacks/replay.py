@@ -1,0 +1,173 @@
+"""Modify-and-forward attacks: replay, sequence-number hijack, wormhole.
+
+These attacks capture legitimate control messages and replay or tamper with
+them before (re)injection, possibly in a different region of the network
+(the wormhole built by two colluding intruders).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.attacks.base import Attack, AttackSchedule, _underlying_olsr
+from repro.olsr.constants import MessageType
+from repro.olsr.messages import OlsrMessage
+from repro.olsr.packet import OlsrPacket
+
+
+class ReplayAttack(Attack):
+    """Record received control messages and replay them after ``delay`` seconds.
+
+    Replayed messages keep their original originator and sequence number (the
+    attack "stays invisible"), so victims whose duplicate tuples have expired
+    update their routing state with obsolete information.
+    """
+
+    name = "replay"
+
+    def __init__(
+        self,
+        delay: float = 40.0,
+        message_type: MessageType = MessageType.TC,
+        max_replays: Optional[int] = None,
+        schedule: Optional[AttackSchedule] = None,
+    ) -> None:
+        super().__init__(schedule)
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self.delay = delay
+        self.message_type = message_type
+        self.max_replays = max_replays
+        self.replayed_count = 0
+        self._node = None
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        self._node = olsr
+        olsr.message_taps.append(self._tap)
+        self.mark_installed(olsr.node_id)
+
+    def _tap(self, message: OlsrMessage, last_hop: str, node) -> None:
+        if not self.is_active(node.now):
+            return
+        if message.message_type != self.message_type:
+            return
+        if self.max_replays is not None and self.replayed_count >= self.max_replays:
+            return
+        self.replayed_count += 1
+        node.simulator.schedule(self.delay, self._replay, message)
+
+    def _replay(self, message: OlsrMessage) -> None:
+        node = self._node
+        if node is None or not self.is_active(node.now):
+            return
+        replayed = OlsrMessage(
+            originator=message.originator,
+            body=message.body,
+            vtime=message.vtime,
+            ttl=max(message.ttl, 2),
+            hop_count=message.hop_count,
+            message_seq_number=message.message_seq_number,
+        )
+        packet = OlsrPacket.bundle(node.node_id, [replayed])
+        node.interface.broadcast(packet, size_bytes=packet.size_bytes())
+
+
+class SequenceNumberHijackAttack(Attack):
+    """Forward messages with an inflated sequence number.
+
+    The victim then believes the attacker provides the freshest route, and
+    genuine later messages are discarded as "old".
+    """
+
+    name = "sequence-hijack"
+
+    def __init__(self, increment: int = 1000,
+                 schedule: Optional[AttackSchedule] = None) -> None:
+        super().__init__(schedule)
+        self.increment = increment
+        self.hijacked_count = 0
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        olsr.message_taps.append(self._tap)
+        self.mark_installed(olsr.node_id)
+
+    def _tap(self, message: OlsrMessage, last_hop: str, node) -> None:
+        if not self.is_active(node.now):
+            return
+        if message.message_type != MessageType.TC:
+            return
+        forged = OlsrMessage(
+            originator=message.originator,
+            body=message.body,
+            vtime=message.vtime,
+            ttl=max(message.ttl - 1, 1),
+            hop_count=message.hop_count + 1,
+            message_seq_number=message.message_seq_number + self.increment,
+        )
+        packet = OlsrPacket.bundle(node.node_id, [forged])
+        node.interface.broadcast(packet, size_bytes=packet.size_bytes())
+        self.hijacked_count += 1
+
+
+class WormholeAttack(Attack):
+    """Two colluding intruders tunnelling control traffic between regions.
+
+    Messages captured at one endpoint are re-emitted, unchanged, at the other
+    endpoint after ``tunnel_latency`` seconds, making distant nodes appear as
+    neighbours and corrupting the topology seen by both regions.
+    """
+
+    name = "wormhole"
+
+    def __init__(self, tunnel_latency: float = 0.05,
+                 message_type: MessageType = MessageType.HELLO,
+                 schedule: Optional[AttackSchedule] = None) -> None:
+        super().__init__(schedule)
+        self.tunnel_latency = tunnel_latency
+        self.message_type = message_type
+        self.tunnelled_count = 0
+        self._endpoints: List = []
+
+    def install(self, node) -> None:
+        olsr = _underlying_olsr(node)
+        if len(self._endpoints) >= 2:
+            raise ValueError("a wormhole has exactly two endpoints")
+        self._endpoints.append(olsr)
+        olsr.message_taps.append(self._make_tap(olsr))
+        self.mark_installed(olsr.node_id)
+
+    def install_pair(self, node_a, node_b) -> None:
+        """Install both tunnel endpoints at once."""
+        self.install(node_a)
+        self.install(node_b)
+
+    def _make_tap(self, endpoint):
+        def tap(message: OlsrMessage, last_hop: str, node) -> None:
+            if not self.is_active(node.now):
+                return
+            if message.message_type != self.message_type:
+                return
+            other = self._other_endpoint(endpoint)
+            if other is None:
+                return
+            self.tunnelled_count += 1
+            node.simulator.schedule(self.tunnel_latency, self._reemit, other, message)
+        return tap
+
+    def _other_endpoint(self, endpoint):
+        for candidate in self._endpoints:
+            if candidate is not endpoint:
+                return candidate
+        return None
+
+    def _reemit(self, endpoint, message: OlsrMessage) -> None:
+        if not self.is_active(endpoint.now):
+            return
+        packet = OlsrPacket.bundle(endpoint.node_id, [message])
+        endpoint.interface.broadcast(packet, size_bytes=packet.size_bytes())
+
+    def endpoints(self) -> Tuple[str, ...]:
+        """Node ids of the installed tunnel endpoints."""
+        return tuple(e.node_id for e in self._endpoints)

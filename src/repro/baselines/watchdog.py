@@ -1,0 +1,156 @@
+"""Watchdog / Pathrater baseline (Marti et al., MobiCom 2000).
+
+Each node overhears its neighbours' transmissions to count the packets a
+relay was supposed to forward but did not.  When the miss count exceeds a
+threshold the relay is flagged as a misbehaving node and the Pathrater
+component down-rates (or avoids) routes through it.
+
+This is the classic trust-free baseline the paper's related-work section
+cites ([13], [14]); it detects *drop* attacks but is blind to link spoofing,
+which is exactly the comparison the ablation benches document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class WatchdogRecord:
+    """Forwarding bookkeeping about one monitored relay."""
+
+    relay: str
+    expected: int = 0
+    forwarded: int = 0
+    missed: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of expected forwards that never happened."""
+        if self.expected == 0:
+            return 0.0
+        return self.missed / self.expected
+
+
+class Watchdog:
+    """Per-node watchdog counting unforwarded packets."""
+
+    def __init__(self, owner: str, miss_threshold: int = 5,
+                 miss_ratio_threshold: float = 0.5) -> None:
+        self.owner = owner
+        self.miss_threshold = miss_threshold
+        self.miss_ratio_threshold = miss_ratio_threshold
+        self._records: Dict[str, WatchdogRecord] = {}
+
+    def record_of(self, relay: str) -> WatchdogRecord:
+        """Record for ``relay`` (created empty when absent)."""
+        record = self._records.get(relay)
+        if record is None:
+            record = WatchdogRecord(relay=relay)
+            self._records[relay] = record
+        return record
+
+    def expect_forward(self, relay: str) -> None:
+        """A packet was handed to ``relay``; we expect to overhear its retransmission."""
+        self.record_of(relay).expected += 1
+
+    def observe_forward(self, relay: str) -> None:
+        """The retransmission by ``relay`` was overheard."""
+        self.record_of(relay).forwarded += 1
+
+    def observe_miss(self, relay: str) -> None:
+        """The retransmission was not overheard before the timeout."""
+        self.record_of(relay).missed += 1
+
+    def misbehaving_nodes(self) -> Set[str]:
+        """Relays flagged by the watchdog."""
+        flagged = set()
+        for relay, record in self._records.items():
+            if record.missed >= self.miss_threshold and record.miss_ratio >= self.miss_ratio_threshold:
+                flagged.add(relay)
+        return flagged
+
+    def is_misbehaving(self, relay: str) -> bool:
+        """Whether ``relay`` is currently flagged."""
+        return relay in self.misbehaving_nodes()
+
+
+class Pathrater:
+    """Rates paths by the ratings of the nodes they traverse.
+
+    Every node starts at ``neutral_rating`` and is incremented periodically
+    while it behaves, decremented on negative events, and pinned to
+    ``misbehaving_rating`` when the watchdog flags it.  A path's rating is the
+    average of its nodes' ratings; negative-rated paths are avoided.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        watchdog: Optional[Watchdog] = None,
+        neutral_rating: float = 0.5,
+        increment: float = 0.01,
+        decrement: float = 0.05,
+        misbehaving_rating: float = -100.0,
+        maximum: float = 0.8,
+    ) -> None:
+        self.owner = owner
+        self.watchdog = watchdog
+        self.neutral_rating = neutral_rating
+        self.increment = increment
+        self.decrement = decrement
+        self.misbehaving_rating = misbehaving_rating
+        self.maximum = maximum
+        self._ratings: Dict[str, float] = {}
+
+    def rating_of(self, node: str) -> float:
+        """Current rating of ``node`` (misbehaving rating when flagged)."""
+        if self.watchdog is not None and self.watchdog.is_misbehaving(node):
+            return self.misbehaving_rating
+        return self._ratings.get(node, self.neutral_rating)
+
+    def actively_used(self, node: str) -> None:
+        """Periodic positive update for nodes on actively used paths."""
+        current = self._ratings.get(node, self.neutral_rating)
+        self._ratings[node] = min(self.maximum, current + self.increment)
+
+    def negative_event(self, node: str) -> None:
+        """Negative update (e.g. link breakage reported)."""
+        current = self._ratings.get(node, self.neutral_rating)
+        self._ratings[node] = current - self.decrement
+
+    def path_rating(self, path: List[str]) -> float:
+        """Average rating of the nodes along ``path`` (excluding the owner)."""
+        nodes = [n for n in path if n != self.owner]
+        if not nodes:
+            return self.neutral_rating
+        return sum(self.rating_of(n) for n in nodes) / len(nodes)
+
+    def best_path(self, paths: List[List[str]]) -> Optional[List[str]]:
+        """The highest-rated path, or ``None`` when every path is negative."""
+        rated = [(self.path_rating(p), p) for p in paths]
+        rated = [(r, p) for r, p in rated if r > 0.0]
+        if not rated:
+            return None
+        rated.sort(key=lambda item: (-item[0], len(item[1])))
+        return rated[0][1]
+
+
+@dataclass
+class WatchdogPathrater:
+    """Convenience bundle of a watchdog and its pathrater."""
+
+    owner: str
+    watchdog: Watchdog = field(default=None)  # type: ignore[assignment]
+    pathrater: Pathrater = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.watchdog is None:
+            self.watchdog = Watchdog(self.owner)
+        if self.pathrater is None:
+            self.pathrater = Pathrater(self.owner, watchdog=self.watchdog)
+
+    def detected_attackers(self) -> Set[str]:
+        """Nodes the bundle currently classifies as misbehaving."""
+        return self.watchdog.misbehaving_nodes()

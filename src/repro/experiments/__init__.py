@@ -1,0 +1,98 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+* :mod:`repro.experiments.config` — scenario parameters (paper defaults).
+* :mod:`repro.experiments.rounds` — the round-based investigation driver.
+* :mod:`repro.experiments.figure1` — trust trajectories under a persistent
+  attack (paper Figure 1).
+* :mod:`repro.experiments.figure2` — forgetting-factor recovery after the
+  attack ceases (paper Figure 2).
+* :mod:`repro.experiments.figure3` — liar-ratio sweep of the detection
+  aggregate (paper Figure 3).
+* :mod:`repro.experiments.confidence_sweep` — confidence level / γ sweep
+  (extension Table A).
+* :mod:`repro.experiments.ablation` — trust weighting vs. baselines
+  (extension Table B).
+* :mod:`repro.experiments.scenario` — full-stack simulated MANET scenarios.
+* :mod:`repro.experiments.report` — plain-text tables and sparklines.
+"""
+
+from repro.experiments.ablation import AblationResult, MethodTrajectory, run_ablation
+from repro.experiments.gravity_ablation import (
+    GravityAblationResult,
+    GravityRow,
+    run_gravity_ablation,
+)
+from repro.experiments.mobility import (
+    MobilityRunResult,
+    MobilityStudyResult,
+    run_mobility_study,
+)
+from repro.experiments.config import (
+    ScenarioConfig,
+    figure2_config,
+    figure3_configs,
+    paper_default_config,
+)
+from repro.experiments.confidence_sweep import (
+    ConfidenceSweepResult,
+    ConfidenceSweepRow,
+    run_confidence_sweep,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.report import (
+    format_series,
+    format_table,
+    format_trajectories,
+    render_report,
+    sparkline,
+)
+from repro.experiments.rounds import (
+    ExperimentResult,
+    RoundBasedExperiment,
+    RoundRecord,
+)
+from repro.experiments.scenario import (
+    CANONICAL_POSITIONS,
+    SimulationScenario,
+    build_canonical_scenario,
+    build_manet_scenario,
+)
+
+__all__ = [
+    "AblationResult",
+    "CANONICAL_POSITIONS",
+    "ConfidenceSweepResult",
+    "ConfidenceSweepRow",
+    "ExperimentResult",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure3Result",
+    "GravityAblationResult",
+    "GravityRow",
+    "MethodTrajectory",
+    "MobilityRunResult",
+    "MobilityStudyResult",
+    "RoundBasedExperiment",
+    "RoundRecord",
+    "ScenarioConfig",
+    "SimulationScenario",
+    "build_canonical_scenario",
+    "build_manet_scenario",
+    "figure2_config",
+    "figure3_configs",
+    "format_series",
+    "format_table",
+    "format_trajectories",
+    "paper_default_config",
+    "render_report",
+    "run_ablation",
+    "run_confidence_sweep",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_gravity_ablation",
+    "run_mobility_study",
+    "sparkline",
+]

@@ -1,0 +1,143 @@
+"""Ablation / baseline comparison (table B of DESIGN.md).
+
+Every method receives the *exact same* investigation answers, round by round,
+produced by the paper's scenario (liars confirm the spoofed link, honest
+responders deny it, some answers may be lost).  Compared methods:
+
+* ``trust-weighted`` — the paper's Eq. 8 aggregate with the entropy trust
+  system (as produced by the round driver);
+* ``unweighted-vote`` — plain mean of the answers (no trust system);
+* ``cap-olsr`` — entropy trust from raw observation counts (no liar
+  discounting);
+* ``beta-reputation`` — Bayesian Beta reputation with deviation test;
+* ``report-averaging`` — cumulative average of all reports ever received.
+
+The comparison metric is the round at which each method first classifies the
+attacker as an intruder, plus its final score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.averaging import AveragingTrustSystem
+from repro.baselines.beta_reputation import BetaReputationSystem
+from repro.baselines.cap_olsr import CapOlsrDetector
+from repro.core.decision import DecisionOutcome, decide, unweighted_vote
+from repro.experiments.config import ScenarioConfig, paper_default_config
+from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
+from repro.trust.confidence import margin_of_error
+
+
+@dataclass
+class MethodTrajectory:
+    """Score trajectory and detection round of one compared method."""
+
+    method: str
+    scores: List[float] = field(default_factory=list)
+    detection_round: Optional[int] = None
+    final_score: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for tabular output."""
+        return {
+            "method": self.method,
+            "detection_round": self.detection_round,
+            "final_score": round(self.final_score, 4) if self.final_score is not None else None,
+            "rounds": len(self.scores),
+        }
+
+
+@dataclass
+class AblationResult:
+    """Trajectories of every compared method on the same answer stream."""
+
+    experiment: ExperimentResult
+    methods: Dict[str, MethodTrajectory] = field(default_factory=dict)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One row per method."""
+        return [self.methods[name].as_dict() for name in sorted(self.methods)]
+
+
+def _answers_to_bools(answers: Dict[str, float]) -> Dict[str, Optional[bool]]:
+    converted: Dict[str, Optional[bool]] = {}
+    for responder, value in answers.items():
+        if value > 0:
+            converted[responder] = True
+        elif value < 0:
+            converted[responder] = False
+        else:
+            converted[responder] = None
+    return converted
+
+
+def run_ablation(config: Optional[ScenarioConfig] = None) -> AblationResult:
+    """Run the paper's scenario once and replay its answers through every method."""
+    config = config or paper_default_config()
+    experiment = RoundBasedExperiment(config)
+    run = experiment.run()
+    attacker = run.attacker
+
+    ours = MethodTrajectory(method="trust-weighted")
+    unweighted = MethodTrajectory(method="unweighted-vote")
+    cap = MethodTrajectory(method="cap-olsr")
+    beta = MethodTrajectory(method="beta-reputation")
+    averaging = MethodTrajectory(method="report-averaging")
+
+    cap_detector = CapOlsrDetector(owner=run.investigator, exclusion_threshold=0.0)
+    beta_system = BetaReputationSystem(owner=run.investigator)
+    averaging_system = AveragingTrustSystem(owner=run.investigator)
+
+    for record in run.rounds:
+        if record.detect_value is None:
+            continue
+        round_index = record.round_index
+        bool_answers = _answers_to_bools(record.answers)
+
+        # Paper's method: already evaluated by the round driver.
+        ours.scores.append(record.detect_value)
+        if ours.detection_round is None and record.outcome == DecisionOutcome.INTRUDER:
+            ours.detection_round = round_index
+
+        # Unweighted vote with the same decision rule.
+        vote = unweighted_vote(record.answers)
+        unweighted.scores.append(vote)
+        margin = margin_of_error(list(record.answers.values()), config.confidence_level)
+        if (
+            unweighted.detection_round is None
+            and decide(vote, margin, gamma=config.gamma) == DecisionOutcome.INTRUDER
+        ):
+            unweighted.detection_round = round_index
+
+        # CAP-OLSR: entropy trust from cumulative counts.
+        cap_score = cap_detector.process_round(attacker, bool_answers)
+        cap.scores.append(cap_score)
+        if cap.detection_round is None and cap_detector.classify(attacker) == "intruder":
+            cap.detection_round = round_index
+
+        # Beta reputation.
+        beta_score = beta_system.process_round(attacker, bool_answers)
+        beta.scores.append(beta_score)
+        if beta.detection_round is None and beta_system.classify(attacker) == "intruder":
+            beta.detection_round = round_index
+
+        # Plain report averaging.
+        avg_score = averaging_system.process_round(attacker, bool_answers)
+        averaging.scores.append(avg_score)
+        if (
+            averaging.detection_round is None
+            and averaging_system.classify(attacker) == "intruder"
+        ):
+            averaging.detection_round = round_index
+
+    for trajectory in (ours, unweighted, cap, beta, averaging):
+        trajectory.final_score = trajectory.scores[-1] if trajectory.scores else None
+
+    return AblationResult(
+        experiment=run,
+        methods={
+            t.method: t for t in (ours, unweighted, cap, beta, averaging)
+        },
+    )

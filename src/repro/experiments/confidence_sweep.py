@@ -1,0 +1,100 @@
+"""Confidence-level / γ sweep (extension table A of DESIGN.md).
+
+Section IV-C of the paper introduces the confidence interval and the
+three-way decision rule but shows no dedicated figure; this sweep quantifies
+the mechanism: for every (confidence level, γ) pair it reports how many
+rounds the investigation needs before the decision becomes conclusive and
+whether the final verdict is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.decision import DecisionOutcome
+from repro.experiments.config import ScenarioConfig, paper_default_config
+from repro.experiments.rounds import RoundBasedExperiment
+
+
+@dataclass
+class ConfidenceSweepRow:
+    """Outcome of one (confidence level, γ) configuration."""
+
+    confidence_level: float
+    gamma: float
+    rounds_to_decision: Optional[int]
+    final_outcome: Optional[DecisionOutcome]
+    final_detect: Optional[float]
+    final_margin: Optional[float]
+    verdict_correct: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for tabular output."""
+        return {
+            "confidence_level": self.confidence_level,
+            "gamma": self.gamma,
+            "rounds_to_decision": self.rounds_to_decision,
+            "final_outcome": str(self.final_outcome) if self.final_outcome else None,
+            "final_detect": round(self.final_detect, 4) if self.final_detect is not None else None,
+            "final_margin": round(self.final_margin, 4) if self.final_margin is not None else None,
+            "verdict_correct": self.verdict_correct,
+        }
+
+
+@dataclass
+class ConfidenceSweepResult:
+    """All rows of the sweep."""
+
+    rows: List[ConfidenceSweepRow] = field(default_factory=list)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flat rows for the report generator."""
+        return [row.as_dict() for row in self.rows]
+
+    def correct_fraction(self) -> float:
+        """Fraction of configurations whose final verdict was correct."""
+        if not self.rows:
+            return 0.0
+        return sum(1 for row in self.rows if row.verdict_correct) / len(self.rows)
+
+
+def run_confidence_sweep(
+    confidence_levels: Sequence[float] = (0.90, 0.95, 0.99),
+    gammas: Sequence[float] = (0.4, 0.6, 0.8),
+    base_config: Optional[ScenarioConfig] = None,
+) -> ConfidenceSweepResult:
+    """Run the sweep; the suspect is always a genuine attacker, so the correct
+    verdict is :data:`DecisionOutcome.INTRUDER`."""
+    base = base_config or paper_default_config()
+    result = ConfidenceSweepResult()
+    for confidence_level in confidence_levels:
+        for gamma in gammas:
+            config = base.with_overrides(confidence_level=confidence_level, gamma=gamma)
+            experiment = RoundBasedExperiment(config)
+            run = experiment.run()
+
+            rounds_to_decision: Optional[int] = None
+            final_outcome: Optional[DecisionOutcome] = None
+            final_detect: Optional[float] = None
+            final_margin: Optional[float] = None
+            for record in run.rounds:
+                if record.outcome is None:
+                    continue
+                final_outcome = record.outcome
+                final_detect = record.detect_value
+                final_margin = record.margin
+                if rounds_to_decision is None and record.outcome != DecisionOutcome.UNRECOGNIZED:
+                    rounds_to_decision = record.round_index
+            result.rows.append(
+                ConfidenceSweepRow(
+                    confidence_level=confidence_level,
+                    gamma=gamma,
+                    rounds_to_decision=rounds_to_decision,
+                    final_outcome=final_outcome,
+                    final_detect=final_detect,
+                    final_margin=final_margin,
+                    verdict_correct=final_outcome == DecisionOutcome.INTRUDER,
+                )
+            )
+    return result

@@ -1,0 +1,81 @@
+"""Figure 1 — Trustworthiness.
+
+The paper's Figure 1 plots, for the node under attack, the trust value it
+assigns to every other node across 25 investigation rounds while the link
+spoofing attack (and the lying) persists.  The expected shape:
+
+* the trust of liars decreases, largely and monotonically, regardless of
+  their initial trust value (the "defensive" behaviour);
+* well-behaving nodes gain trust, but only a little over 25 rounds when they
+  start from a low initial value;
+* the attacker's trust collapses as the investigation keeps concluding that
+  the advertised link is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ScenarioConfig, paper_default_config
+from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
+from repro.metrics.trust_metrics import TrustTrajectoryReport, total_change
+
+
+@dataclass
+class Figure1Result:
+    """Data behind Figure 1."""
+
+    experiment: ExperimentResult
+    trajectories: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def liars(self) -> set:
+        """Liar node ids."""
+        return self.experiment.liars
+
+    @property
+    def honest(self) -> set:
+        """Honest responder node ids."""
+        return self.experiment.honest_responders
+
+    @property
+    def attacker(self) -> str:
+        """The link-spoofing attacker id."""
+        return self.experiment.attacker
+
+    def trajectory_report(self) -> TrustTrajectoryReport:
+        """Wrap the trajectories in the metrics report object."""
+        return TrustTrajectoryReport(
+            observer=self.experiment.investigator,
+            trajectories={k: list(v) for k, v in self.trajectories.items()},
+            liars=set(self.liars),
+            honest=set(self.honest),
+            attacker=self.attacker,
+        )
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular form: one row per node with initial/final trust and change."""
+        rows = []
+        for node in sorted(self.trajectories):
+            trajectory = self.trajectories[node]
+            rows.append(
+                {
+                    "node": node,
+                    "role": self.experiment.role_of(node),
+                    "initial_trust": round(self.experiment.initial_trust.get(node, 0.0), 4),
+                    "final_trust": round(trajectory[-1], 4) if trajectory else None,
+                    "change": round(total_change(trajectory), 4),
+                }
+            )
+        return rows
+
+
+def run_figure1(config: Optional[ScenarioConfig] = None) -> Figure1Result:
+    """Run the Figure 1 experiment (attack persists for the whole run)."""
+    config = config or paper_default_config()
+    if config.attack_stop_round is not None:
+        config = config.with_overrides(attack_stop_round=None)
+    experiment = RoundBasedExperiment(config)
+    result = experiment.run()
+    return Figure1Result(experiment=result, trajectories=result.trust_trajectories())

@@ -1,0 +1,78 @@
+"""Figure 2 — Impact of the forgetting factor on the trustworthiness.
+
+After the attack (and the lying) ceases, no investigation runs any more and
+the forgetting factor β of Eq. 5 drives every trust value back toward the
+default (initial) trust, 0.4 in the paper:
+
+* nodes with a high or medium trust decay down to the default within the
+  remaining rounds;
+* former liars, whose trust collapsed while they lied, recover toward the
+  default only slowly and may not reach it — the system "demands a long
+  misconduct-less duration before trusting a former liar".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ScenarioConfig, figure2_config
+from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
+from repro.metrics.trust_metrics import recovery_gap
+
+
+@dataclass
+class Figure2Result:
+    """Data behind Figure 2."""
+
+    experiment: ExperimentResult
+    trajectories: Dict[str, List[float]] = field(default_factory=dict)
+    attack_stop_round: int = 0
+    default_trust: float = 0.4
+
+    def recovery_gaps(self) -> Dict[str, float]:
+        """Distance of each node's final trust from the default trust."""
+        return {
+            node: recovery_gap(trajectory, self.default_trust)
+            for node, trajectory in self.trajectories.items()
+        }
+
+    def post_attack_trajectory(self, node: str) -> List[float]:
+        """Trust of ``node`` restricted to the rounds after the attack stopped."""
+        return self.trajectories.get(node, [])[self.attack_stop_round:]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular form: per node, trust at the cut-over and at the end."""
+        rows = []
+        for node in sorted(self.trajectories):
+            trajectory = self.trajectories[node]
+            at_stop = (
+                trajectory[self.attack_stop_round - 1]
+                if len(trajectory) >= self.attack_stop_round and self.attack_stop_round > 0
+                else (trajectory[0] if trajectory else None)
+            )
+            rows.append(
+                {
+                    "node": node,
+                    "role": self.experiment.role_of(node),
+                    "trust_at_attack_stop": round(at_stop, 4) if at_stop is not None else None,
+                    "final_trust": round(trajectory[-1], 4) if trajectory else None,
+                    "gap_to_default": round(recovery_gap(trajectory, self.default_trust), 4),
+                }
+            )
+        return rows
+
+
+def run_figure2(config: Optional[ScenarioConfig] = None) -> Figure2Result:
+    """Run the Figure 2 experiment (attack ceases mid-run, forgetting takes over)."""
+    config = config or figure2_config()
+    if config.attack_stop_round is None:
+        config = config.with_overrides(attack_stop_round=max(2, config.rounds // 4))
+    experiment = RoundBasedExperiment(config)
+    result = experiment.run()
+    return Figure2Result(
+        experiment=result,
+        trajectories=result.trust_trajectories(),
+        attack_stop_round=config.attack_stop_round,
+        default_trust=config.trust.default_trust,
+    )

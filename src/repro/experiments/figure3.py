@@ -1,0 +1,85 @@
+"""Figure 3 — Impact of liars on the detection.
+
+The paper sweeps the proportion of colluding liars among the responders and
+plots the investigation result ``Detect^{A,I}`` across rounds.  The expected
+shape:
+
+* the more liars, the slower the detection converges toward −1;
+* after about 10 rounds the aggregate falls below ≈ −0.4 even with ≈ 43 %
+  liars, because the liars' trust — and therefore their weight in Eq. 8 —
+  keeps shrinking;
+* in the last rounds the aggregate reaches ≈ −0.8 regardless of the liar
+  ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ScenarioConfig, figure3_configs
+from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
+from repro.metrics.detection import convergence_round
+
+
+@dataclass
+class Figure3Result:
+    """Data behind Figure 3: one detection trajectory per liar ratio."""
+
+    experiments: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def detect_series(self) -> Dict[str, List[float]]:
+        """Detect^{A,I} trajectory per liar-ratio label."""
+        return {
+            label: [v for v in result.detect_trajectory() if v is not None]
+            for label, result in self.experiments.items()
+        }
+
+    def convergence_rounds(self, threshold: float = -0.4) -> Dict[str, Optional[int]]:
+        """First round at which each series falls below ``threshold``."""
+        return {
+            label: convergence_round(series, threshold, below=True)
+            for label, series in self.detect_series().items()
+        }
+
+    def final_values(self) -> Dict[str, float]:
+        """Last Detect value of each series."""
+        return {
+            label: (series[-1] if series else 0.0)
+            for label, series in self.detect_series().items()
+        }
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular form: per liar ratio, convergence round and final value."""
+        convergence = self.convergence_rounds()
+        finals = self.final_values()
+        rows = []
+        for label in sorted(self.experiments, key=_ratio_sort_key):
+            result = self.experiments[label]
+            rows.append(
+                {
+                    "liar_ratio": label,
+                    "liar_count": len(result.liars),
+                    "responders": len(result.responders),
+                    "round_below_-0.4": convergence[label],
+                    "final_detect": round(finals[label], 4),
+                }
+            )
+        return rows
+
+
+def _ratio_sort_key(label: str) -> float:
+    try:
+        return float(label.rstrip("%"))
+    except ValueError:
+        return 0.0
+
+
+def run_figure3(configs: Optional[Dict[str, ScenarioConfig]] = None) -> Figure3Result:
+    """Run the liar-ratio sweep (paper Figure 3)."""
+    configs = configs or figure3_configs()
+    experiments: Dict[str, ExperimentResult] = {}
+    for label, config in configs.items():
+        experiment = RoundBasedExperiment(config)
+        experiments[label] = experiment.run()
+    return Figure3Result(experiments=experiments)

@@ -1,0 +1,179 @@
+"""Mobility-impact experiment (the paper's stated future work).
+
+Section VII announces "more experiences ... to evaluate the impact of mobility
+on trustworthiness evaluation".  This module provides that experiment: the
+full-stack MANET scenario is run with random-waypoint mobility at increasing
+speeds, and the experiment measures how node movement degrades the
+investigation (unreachable responders, missing answers) and how the detection
+aggregate and the attacker's trust respond.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.attacks.liar import LiarBehavior
+from repro.attacks.link_spoofing import LinkSpoofingAttack
+from repro.attacks.scenario import AttackScenario
+from repro.core.detector_node import DetectionConfig, DetectorNode
+from repro.core.signatures import LinkSpoofingVariant
+from repro.netsim.engine import Simulator
+from repro.netsim.medium import UnitDiskPropagation, WirelessMedium
+from repro.netsim.mobility import RandomWaypointMobility, UniformRandomPlacement
+from repro.netsim.network import Network
+from repro.olsr.constants import Willingness
+from repro.olsr.node import OlsrConfig
+
+
+@dataclass
+class MobilityRunResult:
+    """Outcome of one mobility configuration."""
+
+    max_speed: float
+    detection_cycles: int
+    attacker_investigated: bool
+    final_detect: Optional[float]
+    final_attacker_trust: Optional[float]
+    unreached_ratio: float
+    missing_answer_ratio: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat row for tabular output."""
+        return {
+            "max_speed_m_s": self.max_speed,
+            "cycles": self.detection_cycles,
+            "attacker_investigated": self.attacker_investigated,
+            "final_detect": round(self.final_detect, 3) if self.final_detect is not None else None,
+            "attacker_trust": (
+                round(self.final_attacker_trust, 3)
+                if self.final_attacker_trust is not None else None
+            ),
+            "unreached_ratio": round(self.unreached_ratio, 3),
+            "missing_answer_ratio": round(self.missing_answer_ratio, 3),
+        }
+
+
+@dataclass
+class MobilityStudyResult:
+    """All rows of the mobility sweep."""
+
+    runs: List[MobilityRunResult] = field(default_factory=list)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One row per mobility configuration."""
+        return [run.as_dict() for run in self.runs]
+
+    def detection_degrades_with_speed(self) -> bool:
+        """Whether missing-answer ratios are (weakly) increasing with speed."""
+        ratios = [run.missing_answer_ratio for run in self.runs]
+        return all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))
+
+
+def _build_mobile_scenario(max_speed: float, seed: int, node_count: int,
+                           liar_count: int, area_size: float,
+                           radio_range: float, attack_start: float):
+    simulator = Simulator()
+    rng = random.Random(seed)
+    medium = WirelessMedium(
+        simulator,
+        propagation=UnitDiskPropagation(radio_range=radio_range),
+    )
+    if max_speed > 0:
+        mobility = RandomWaypointMobility(
+            width=area_size, height=area_size,
+            min_speed=max(0.5, max_speed / 4.0), max_speed=max_speed,
+            pause_time=2.0, rng=random.Random(seed + 2),
+        )
+    else:
+        mobility = UniformRandomPlacement(width=area_size, height=area_size,
+                                          rng=random.Random(seed + 2))
+    network = Network(simulator=simulator, medium=medium, mobility=mobility, seed=seed)
+    node_ids = [f"n{i:02d}" for i in range(node_count)]
+    network.add_nodes(node_ids)
+
+    attacker_id = node_ids[1]
+    nodes: Dict[str, DetectorNode] = {}
+    for node_id in node_ids:
+        willingness = Willingness.WILL_HIGH if node_id == attacker_id else Willingness.WILL_DEFAULT
+        nodes[node_id] = DetectorNode(
+            node_id, network,
+            olsr_config=OlsrConfig(willingness=willingness),
+            detection_config=DetectionConfig(),
+            seed=rng.randint(0, 2 ** 31),
+        )
+
+    attacker_neighbors = network.neighbors_of(attacker_id)
+    victim_id = (max(attacker_neighbors, key=lambda n: (len(network.neighbors_of(n)), n))
+                 if attacker_neighbors else node_ids[0])
+    non_neighbors = [n for n in node_ids
+                     if n not in attacker_neighbors and n not in (attacker_id, victim_id)]
+    rng.shuffle(non_neighbors)
+    spoof_targets = non_neighbors[: max(3, node_count // 3)] or ["phantom"]
+
+    scenario = AttackScenario(name=f"mobility-{max_speed}")
+    attack = LinkSpoofingAttack(LinkSpoofingVariant.FALSE_EXISTING_LINK, spoof_targets)
+    attack.schedule.start_time = attack_start
+    scenario.add(attacker_id, attack)
+    candidates = [n for n in node_ids if n not in (attacker_id, victim_id)]
+    rng.shuffle(candidates)
+    for liar_id in candidates[:liar_count]:
+        scenario.add(liar_id, LiarBehavior(protected_suspects={attacker_id},
+                                           rng=random.Random(seed + hash(liar_id) % 997)))
+    scenario.install_all(nodes)
+
+    for node in nodes.values():
+        node.start()
+        node.bind_default_transport(nodes)
+    return network, nodes, victim_id, attacker_id
+
+
+def run_mobility_study(
+    speeds: Sequence[float] = (0.0, 2.0, 5.0, 10.0),
+    seed: int = 23,
+    node_count: int = 16,
+    liar_count: int = 4,
+    area_size: float = 800.0,
+    radio_range: float = 250.0,
+    warmup: float = 35.0,
+    attack_start: float = 40.0,
+    cycles: int = 8,
+    cycle_length: float = 10.0,
+) -> MobilityStudyResult:
+    """Run the mobility sweep and return one row per maximum speed."""
+    result = MobilityStudyResult()
+    for max_speed in speeds:
+        network, nodes, victim_id, attacker_id = _build_mobile_scenario(
+            max_speed, seed, node_count, liar_count, area_size, radio_range, attack_start)
+        victim = nodes[victim_id]
+        network.run(until=warmup)
+        victim.detection_round()
+
+        attacker_rounds = []
+        total_answers = 0
+        missing_answers = 0
+        unreached = 0
+        for _ in range(cycles):
+            network.run(until=network.now + cycle_length)
+            for round_result in victim.detection_round():
+                if round_result.suspect != attacker_id:
+                    continue
+                attacker_rounds.append(round_result)
+                total_answers += len(round_result.answers)
+                missing_answers += sum(1 for v in round_result.answers.values() if v == 0.0)
+                unreached += len(round_result.responders_unreached)
+
+        final_detect = attacker_rounds[-1].decision.detect_value if attacker_rounds else None
+        result.runs.append(
+            MobilityRunResult(
+                max_speed=max_speed,
+                detection_cycles=len(attacker_rounds),
+                attacker_investigated=bool(attacker_rounds),
+                final_detect=final_detect,
+                final_attacker_trust=victim.trust.trust_of(attacker_id),
+                unreached_ratio=(unreached / total_answers) if total_answers else 0.0,
+                missing_answer_ratio=(missing_answers / total_answers) if total_answers else 0.0,
+            )
+        )
+    return result

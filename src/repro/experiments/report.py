@@ -1,0 +1,106 @@
+"""Plain-text reporting of experiment results.
+
+The benches and examples print the same rows/series the paper reports;
+these helpers format lists of dictionaries as fixed-width text tables and
+trajectories as compact sparkline-like strings, so everything stays readable
+in a terminal without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Format dict rows as a fixed-width text table (column order = first row)."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(_cell(row.get(column))))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(_cell(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_series(series: Mapping[str, Sequence[float]], title: Optional[str] = None,
+                  precision: int = 2) -> str:
+    """Format named numeric series as aligned rows of values."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        lines.append("(no series)")
+        return "\n".join(lines)
+    label_width = max(len(str(label)) for label in series)
+    for label in sorted(series):
+        values = series[label]
+        rendered = " ".join(f"{v:+.{precision}f}" for v in values)
+        lines.append(f"{str(label).ljust(label_width)} : {rendered}")
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], low: Optional[float] = None,
+              high: Optional[float] = None) -> str:
+    """Render a numeric series as a unicode sparkline string."""
+    if not values:
+        return ""
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(values)
+    scale = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[int(round((min(max(v, lo), hi) - lo) / (hi - lo) * scale))]
+        for v in values
+    )
+
+
+def format_trajectories(trajectories: Mapping[str, Sequence[float]],
+                        roles: Optional[Mapping[str, str]] = None,
+                        title: Optional[str] = None) -> str:
+    """Summarise trust trajectories as one sparkline row per node."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not trajectories:
+        lines.append("(no trajectories)")
+        return "\n".join(lines)
+    label_width = max(len(n) for n in trajectories)
+    role_width = max((len(roles.get(n, "")) for n in trajectories), default=0) if roles else 0
+    for node in sorted(trajectories):
+        values = list(trajectories[node])
+        role = roles.get(node, "") if roles else ""
+        start = f"{values[0]:.2f}" if values else "-"
+        end = f"{values[-1]:.2f}" if values else "-"
+        parts = [node.ljust(label_width)]
+        if roles:
+            parts.append(role.ljust(role_width))
+        parts.append(sparkline(values, low=0.0, high=1.0))
+        parts.append(f"{start}->{end}")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def render_report(sections: Iterable[str]) -> str:
+    """Join report sections with blank lines."""
+    return "\n\n".join(section for section in sections if section)

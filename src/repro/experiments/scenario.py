@@ -1,0 +1,257 @@
+"""Full-stack simulation scenarios.
+
+The round-based driver (:mod:`repro.experiments.rounds`) reproduces the
+paper's evaluation; the scenarios below exercise the *whole* pipeline end to
+end on a simulated MANET: OLSR runs, the attacker forges its HELLOs, the
+victim's log analyzer raises E1, the cooperative investigation queries the
+2-hop neighbours over paths avoiding the suspect, and the decision rule
+produces a verdict.
+
+Two builders are provided:
+
+* :func:`build_canonical_scenario` — a small, fully deterministic topology
+  designed so the MPR replacement (E1) provably happens once the attack
+  starts; used by the integration tests and the quickstart example.
+* :func:`build_manet_scenario` — an N-node random MANET with an attacker and
+  a configurable fraction of liars, for larger demonstrations and the
+  simulator-scale benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.attacks.liar import LiarBehavior
+from repro.attacks.link_spoofing import LinkSpoofingAttack
+from repro.attacks.scenario import AttackScenario
+from repro.core.detector_node import DetectionConfig, DetectorNode
+from repro.core.investigation import RoundResult
+from repro.core.signatures import LinkSpoofingVariant
+from repro.netsim.medium import BernoulliLossModel, UnitDiskPropagation, WirelessMedium
+from repro.netsim.mobility import StaticPlacement, UniformRandomPlacement
+from repro.netsim.network import Network
+from repro.netsim.engine import Simulator
+from repro.olsr.constants import Willingness
+from repro.olsr.node import OlsrConfig
+
+
+@dataclass
+class SimulationScenario:
+    """A built scenario: network, detector nodes and the attack plan."""
+
+    network: Network
+    nodes: Dict[str, DetectorNode]
+    attack_scenario: AttackScenario
+    victim_id: str
+    attacker_id: str
+    liar_ids: Set[str] = field(default_factory=set)
+
+    @property
+    def victim(self) -> DetectorNode:
+        """The investigating (attacked) node."""
+        return self.nodes[self.victim_id]
+
+    @property
+    def attacker(self) -> DetectorNode:
+        """The compromised node performing link spoofing."""
+        return self.nodes[self.attacker_id]
+
+    def start_all(self) -> None:
+        """Start the OLSR process on every node."""
+        for node in self.nodes.values():
+            node.start()
+
+    def bind_transports(self) -> None:
+        """Give every node the suspect-avoiding query transport."""
+        for node in self.nodes.values():
+            node.bind_default_transport(self.nodes)
+
+    def warm_up(self, duration: float = 30.0) -> None:
+        """Run the network long enough for OLSR to converge."""
+        self.network.run(until=self.network.now + duration)
+
+    def run_detection_cycle(self, duration: float = 10.0) -> List[RoundResult]:
+        """Advance the simulation and run one detection cycle on the victim."""
+        self.network.run(until=self.network.now + duration)
+        return self.victim.detection_round()
+
+    def run_detection_rounds(self, rounds: int, step: float = 10.0) -> List[List[RoundResult]]:
+        """Run several detection cycles, returning the per-cycle results."""
+        return [self.run_detection_cycle(step) for _ in range(rounds)]
+
+
+#: Coordinates of the canonical 6-node topology (radio range 250 m).
+#: ``victim`` neighbours ``relay`` (honest MPR) and ``attacker``;
+#: ``edge1``/``edge2`` are only reachable through ``relay``; ``shared`` is
+#: reachable through both ``relay`` and ``attacker``.
+CANONICAL_POSITIONS = {
+    "victim": (0.0, 0.0),
+    "relay": (0.0, 200.0),
+    "attacker": (150.0, 100.0),
+    "edge1": (0.0, 400.0),
+    "edge2": (-150.0, 300.0),
+    "shared": (150.0, 300.0),
+}
+
+
+def build_canonical_scenario(
+    seed: int = 11,
+    attack_start: float = 40.0,
+    loss_probability: float = 0.0,
+    detection_config: Optional[DetectionConfig] = None,
+) -> SimulationScenario:
+    """Build the deterministic 6-node link-spoofing scenario.
+
+    Before ``attack_start`` the attacker behaves; afterwards it advertises
+    spoofed symmetric links to ``edge1`` and ``edge2`` (which are not its
+    neighbours), and — combined with its high willingness — replaces ``relay``
+    as the victim's MPR, which is the E1 trigger.
+    """
+    simulator = Simulator()
+    rng = random.Random(seed)
+    medium = WirelessMedium(
+        simulator,
+        propagation=UnitDiskPropagation(radio_range=250.0),
+        loss_model=BernoulliLossModel(loss_probability, rng=random.Random(seed + 1)),
+    )
+    network = Network(
+        simulator=simulator,
+        medium=medium,
+        mobility=StaticPlacement(CANONICAL_POSITIONS),
+        seed=seed,
+    )
+    network.add_nodes(list(CANONICAL_POSITIONS))
+
+    nodes: Dict[str, DetectorNode] = {}
+    for node_id in CANONICAL_POSITIONS:
+        willingness = Willingness.WILL_HIGH if node_id == "attacker" else Willingness.WILL_DEFAULT
+        config = OlsrConfig(willingness=willingness)
+        nodes[node_id] = DetectorNode(
+            node_id,
+            network,
+            olsr_config=config,
+            detection_config=detection_config or DetectionConfig(),
+            seed=rng.randint(0, 2 ** 31),
+        )
+
+    attack = LinkSpoofingAttack(
+        variant=LinkSpoofingVariant.FALSE_EXISTING_LINK,
+        target_addresses=["edge1", "edge2"],
+    )
+    attack.schedule.start_time = attack_start
+    scenario = AttackScenario(name="canonical-link-spoofing")
+    scenario.add("attacker", attack)
+    scenario.install_all(nodes)
+
+    built = SimulationScenario(
+        network=network,
+        nodes=nodes,
+        attack_scenario=scenario,
+        victim_id="victim",
+        attacker_id="attacker",
+    )
+    built.start_all()
+    built.bind_transports()
+    return built
+
+
+def build_manet_scenario(
+    node_count: int = 16,
+    liar_count: int = 4,
+    seed: int = 23,
+    area_size: float = 800.0,
+    radio_range: float = 250.0,
+    loss_probability: float = 0.0,
+    attack_start: float = 40.0,
+    detection_config: Optional[DetectionConfig] = None,
+) -> SimulationScenario:
+    """Build an ``node_count``-node random MANET with one attacker and liars.
+
+    The attacker spoofs symmetric links toward a sample of distant nodes; the
+    liar nodes protect it during investigations.  The victim is the node with
+    the most neighbours among the attacker's neighbours (so an investigation
+    is actually possible).
+    """
+    if node_count < 4:
+        raise ValueError("a MANET scenario needs at least 4 nodes")
+    if liar_count >= node_count - 2:
+        raise ValueError("too many liars for the node count")
+
+    simulator = Simulator()
+    rng = random.Random(seed)
+    medium = WirelessMedium(
+        simulator,
+        propagation=UnitDiskPropagation(radio_range=radio_range),
+        loss_model=BernoulliLossModel(loss_probability, rng=random.Random(seed + 1)),
+    )
+    network = Network(
+        simulator=simulator,
+        medium=medium,
+        mobility=UniformRandomPlacement(width=area_size, height=area_size,
+                                        rng=random.Random(seed + 2)),
+        seed=seed,
+    )
+    node_ids = [f"n{i:02d}" for i in range(node_count)]
+    network.add_nodes(node_ids)
+
+    nodes: Dict[str, DetectorNode] = {}
+    attacker_id = node_ids[1]
+    for node_id in node_ids:
+        willingness = Willingness.WILL_HIGH if node_id == attacker_id else Willingness.WILL_DEFAULT
+        nodes[node_id] = DetectorNode(
+            node_id,
+            network,
+            olsr_config=OlsrConfig(willingness=willingness),
+            detection_config=detection_config or DetectionConfig(),
+            seed=rng.randint(0, 2 ** 31),
+        )
+
+    # Victim: the attacker's best-connected radio neighbour (fallback: n00).
+    attacker_neighbors = network.neighbors_of(attacker_id)
+    victim_id = node_ids[0]
+    if attacker_neighbors:
+        victim_id = max(
+            attacker_neighbors,
+            key=lambda nid: (len(network.neighbors_of(nid)), nid),
+        )
+
+    # Spoof links toward nodes that are not the attacker's radio neighbours.
+    non_neighbors = [
+        nid for nid in node_ids
+        if nid not in attacker_neighbors and nid not in (attacker_id, victim_id)
+    ]
+    rng.shuffle(non_neighbors)
+    spoof_targets = non_neighbors[: max(3, node_count // 3)] or [f"phantom{seed}"]
+
+    attack = LinkSpoofingAttack(
+        variant=LinkSpoofingVariant.FALSE_EXISTING_LINK,
+        target_addresses=spoof_targets,
+    )
+    attack.schedule.start_time = attack_start
+    scenario = AttackScenario(name=f"manet-{node_count}n-{liar_count}liars")
+    scenario.add(attacker_id, attack)
+
+    # Liars: sampled among the remaining nodes.
+    candidates = [nid for nid in node_ids if nid not in (attacker_id, victim_id)]
+    rng.shuffle(candidates)
+    liar_ids = set(candidates[:liar_count])
+    for liar_id in sorted(liar_ids):
+        liar = LiarBehavior(protected_suspects={attacker_id},
+                            rng=random.Random(seed + hash(liar_id) % 997))
+        scenario.add(liar_id, liar)
+
+    scenario.install_all(nodes)
+
+    built = SimulationScenario(
+        network=network,
+        nodes=nodes,
+        attack_scenario=scenario,
+        victim_id=victim_id,
+        attacker_id=attacker_id,
+        liar_ids=liar_ids,
+    )
+    built.start_all()
+    built.bind_transports()
+    return built

@@ -1,0 +1,37 @@
+"""OLSR audit-log subsystem.
+
+The paper's detector is *log-based*: instead of sniffing packets it parses the
+audit logs that the routing daemon already produces.  This package models that
+pipeline:
+
+* :mod:`repro.logs.records` — structured log records and their categories.
+* :mod:`repro.logs.store` — per-node append-only log store with querying.
+* :mod:`repro.logs.parser` — olsrd-like text serialisation and parsing, so the
+  detector genuinely works from a textual log and not from in-memory state.
+* :mod:`repro.logs.analyzer` — extraction of detection-relevant events
+  (MPR replacements, misbehaviour observations, neighbourhood changes).
+"""
+
+from repro.logs.records import LogCategory, LogRecord
+from repro.logs.store import LogStore
+from repro.logs.parser import LogParseError, format_record, parse_line, parse_lines
+from repro.logs.analyzer import (
+    DetectionEvent,
+    DetectionEventType,
+    LogAnalyzer,
+    NeighborhoodSnapshot,
+)
+
+__all__ = [
+    "DetectionEvent",
+    "DetectionEventType",
+    "LogAnalyzer",
+    "LogCategory",
+    "LogParseError",
+    "LogRecord",
+    "LogStore",
+    "NeighborhoodSnapshot",
+    "format_record",
+    "parse_line",
+    "parse_lines",
+]

@@ -1,0 +1,104 @@
+"""Per-node audit-log store.
+
+The store is append-only, as a real log file would be.  It supports the
+queries the detector needs: by category, by time window, by event, and
+"records since the last analysis mark".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.logs.parser import dump_records, load_records
+from repro.logs.records import LogCategory, LogRecord, make_record
+
+
+class LogStore:
+    """Append-only audit log of a single node."""
+
+    def __init__(self, node_id: str, max_records: Optional[int] = None) -> None:
+        self.node_id = node_id
+        self._records: List[LogRecord] = []
+        self._max_records = max_records
+        self._marks: dict = {}
+
+    # ------------------------------------------------------------- writing
+    def append(self, record: LogRecord) -> LogRecord:
+        """Append an already-built record."""
+        self._records.append(record)
+        if self._max_records is not None and len(self._records) > self._max_records:
+            overflow = len(self._records) - self._max_records
+            del self._records[:overflow]
+            # shift analysis marks so they keep pointing at the same records
+            self._marks = {k: max(0, v - overflow) for k, v in self._marks.items()}
+        return record
+
+    def log(self, time: float, category: LogCategory, event: str, **fields) -> LogRecord:
+        """Build (via :func:`make_record`) and append a record."""
+        return self.append(make_record(time, self.node_id, category, event, **fields))
+
+    def extend(self, records: Iterable[LogRecord]) -> None:
+        """Append many records preserving order."""
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------- reading
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[LogRecord]:
+        """All records, oldest first."""
+        return list(self._records)
+
+    def by_category(self, category: LogCategory) -> List[LogRecord]:
+        """All records of ``category``."""
+        return [r for r in self._records if r.category == category]
+
+    def by_event(self, event: str) -> List[LogRecord]:
+        """All records with the given event name."""
+        return [r for r in self._records if r.event == event]
+
+    def between(self, start: float, end: float) -> List[LogRecord]:
+        """Records with ``start <= time <= end``."""
+        return [r for r in self._records if start <= r.time <= end]
+
+    def where(self, predicate: Callable[[LogRecord], bool]) -> List[LogRecord]:
+        """Records satisfying an arbitrary predicate."""
+        return [r for r in self._records if predicate(r)]
+
+    def last(self, count: int = 1) -> List[LogRecord]:
+        """The ``count`` most recent records."""
+        if count <= 0:
+            return []
+        return list(self._records[-count:])
+
+    # -------------------------------------------------- incremental analysis
+    def since_mark(self, mark_name: str = "default") -> List[LogRecord]:
+        """Records appended after the last call to :meth:`advance_mark`."""
+        start = self._marks.get(mark_name, 0)
+        return list(self._records[start:])
+
+    def advance_mark(self, mark_name: str = "default") -> None:
+        """Move the analysis mark to the end of the current log."""
+        self._marks[mark_name] = len(self._records)
+
+    # ------------------------------------------------------------- text I/O
+    def dump_text(self) -> str:
+        """Serialise the whole log to olsrd-like text."""
+        return dump_records(self._records)
+
+    @classmethod
+    def from_text(cls, node_id: str, text: str) -> "LogStore":
+        """Build a store from a text dump (used when replaying captured logs)."""
+        store = cls(node_id)
+        store.extend(load_records(text))
+        return store
+
+    def clear(self) -> None:
+        """Discard every record and analysis mark."""
+        self._records.clear()
+        self._marks.clear()

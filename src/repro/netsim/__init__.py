@@ -1,0 +1,71 @@
+"""Discrete-event MANET simulator.
+
+This package provides the network substrate on which the OLSR protocol and
+the intrusion-detection experiments run:
+
+* :mod:`repro.netsim.engine` — a deterministic discrete-event engine.
+* :mod:`repro.netsim.packet` — the link-layer frame model.
+* :mod:`repro.netsim.medium` — wireless broadcast medium with configurable
+  propagation, loss and collision models.
+* :mod:`repro.netsim.mobility` — node placement and mobility models.
+* :mod:`repro.netsim.network` — container wiring nodes, medium and engine.
+* :mod:`repro.netsim.stats` — transmission statistics.
+* :mod:`repro.netsim.trace` — event trace recording.
+
+The paper evaluates its trust system on a small ad hoc network; the authors
+do not publish their simulation substrate.  This module is the substitution
+documented in DESIGN.md: a unit-disk radio with Bernoulli loss and an
+optional collision window reproduces the properties the detection system
+depends on (broadcast neighbourhoods, lost answers, asymmetric links).
+"""
+
+from repro.netsim.engine import Event, EventHandle, Simulator
+from repro.netsim.medium import (
+    BernoulliLossModel,
+    CollisionModel,
+    CompositeLossModel,
+    DistanceLossModel,
+    PerfectChannel,
+    PropagationModel,
+    UnitDiskPropagation,
+    WirelessMedium,
+)
+from repro.netsim.mobility import (
+    GridPlacement,
+    MobilityModel,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    StaticPlacement,
+    UniformRandomPlacement,
+)
+from repro.netsim.network import Network, NetworkInterface
+from repro.netsim.packet import BROADCAST_ADDRESS, Frame
+from repro.netsim.stats import MediumStatistics
+from repro.netsim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "BROADCAST_ADDRESS",
+    "BernoulliLossModel",
+    "CollisionModel",
+    "CompositeLossModel",
+    "DistanceLossModel",
+    "Event",
+    "EventHandle",
+    "Frame",
+    "GridPlacement",
+    "MediumStatistics",
+    "MobilityModel",
+    "Network",
+    "NetworkInterface",
+    "PerfectChannel",
+    "PropagationModel",
+    "RandomWalkMobility",
+    "RandomWaypointMobility",
+    "Simulator",
+    "StaticPlacement",
+    "TraceEvent",
+    "TraceRecorder",
+    "UniformRandomPlacement",
+    "UnitDiskPropagation",
+    "WirelessMedium",
+]

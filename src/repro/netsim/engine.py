@@ -1,0 +1,262 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic priority-queue scheduler.  Events scheduled at the
+same simulated time are executed in the order they were scheduled (FIFO on a
+monotonically increasing sequence number), which keeps runs fully
+deterministic for a given seed and call sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, sequence)`` so that simultaneous events run
+    in scheduling order.  The callback and its arguments do not participate in
+    ordering.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule` allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled execution time of the underlying event."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; it will be skipped when popped from the queue."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a simple heap-based run loop.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> sim.schedule(1.0, seen.append, "a")  # doctest: +ELLIPSIS
+    <repro.netsim.engine.EventHandle object at ...>
+    >>> sim.schedule(0.5, seen.append, "b")  # doctest: +ELLIPSIS
+    <repro.netsim.engine.EventHandle object at ...>
+    >>> sim.run()
+    >>> seen
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, already at t={self._now:.6f}"
+            )
+        event = Event(
+            time=float(time),
+            sequence=next(self._sequence),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        start_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        ``jitter`` (if non-zero) subtracts a uniform random amount in
+        ``[0, jitter)`` from every period, mimicking the emission jitter that
+        OLSR applies to its control traffic.  A ``rng`` (``random.Random``)
+        must be supplied when jitter is used, to keep runs deterministic.
+
+        Returns the handle of the *first* occurrence; cancelling it stops the
+        whole periodic chain.
+        """
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+        if jitter and rng is None:
+            raise SimulationError("jitter requires an explicit rng")
+        first_delay = interval if start_delay is None else start_delay
+        state = {"cancelled": False}
+
+        def fire() -> None:
+            if state["cancelled"]:
+                return
+            callback(*args, **kwargs)
+            delay = interval
+            if jitter:
+                delay -= rng.uniform(0.0, jitter)
+                delay = max(delay, 1e-9)
+            handle = self.schedule(delay, fire)
+            # Chain cancellation: cancelling the returned handle marks state.
+            chain._event = handle._event  # type: ignore[attr-defined]
+
+        first = self.schedule(max(first_delay, 0.0), fire)
+        chain = _PeriodicHandle(first._event, state)
+        return chain
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would occur strictly after this time.
+            The clock is advanced to ``until`` when provided.
+        max_events:
+            Safety cap on the number of executed events.
+        """
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stop_requested:
+                    break
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args, **event.kwargs)
+                self._processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue was
+        empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args, **event.kwargs)
+            self._processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the time of the next pending event, skipping cancelled ones."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def drain(self) -> Iterator[Event]:
+        """Remove and yield every pending event without executing it."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                yield event
+
+
+class _PeriodicHandle(EventHandle):
+    """Handle for periodic schedules; cancelling stops future occurrences."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, event: Event, state: dict) -> None:
+        super().__init__(event)
+        self._state = state
+
+    def cancel(self) -> None:
+        self._state["cancelled"] = True
+        super().cancel()

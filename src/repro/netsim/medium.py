@@ -1,0 +1,315 @@
+"""Wireless medium: propagation, loss and collision models.
+
+The medium implements an idealised single-channel broadcast radio:
+
+* A :class:`PropagationModel` decides *who can hear whom* (connectivity).
+* A loss model decides, per receiver, whether an otherwise reachable frame is
+  actually delivered (captures fading, noise, obstacles — the unreliability
+  the paper points at when discussing evidence ``E3``).
+* An optional :class:`CollisionModel` drops frames whose on-air intervals
+  overlap at a receiver, modelling the "high level of collisions" mentioned
+  in the paper's Section IV-C.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.netsim.packet import Frame
+from repro.netsim.stats import MediumStatistics
+
+Position = Tuple[float, float]
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two 2-D positions."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+# --------------------------------------------------------------------------
+# Propagation models
+# --------------------------------------------------------------------------
+class PropagationModel(Protocol):
+    """Decides whether a transmission from ``sender`` reaches ``receiver``."""
+
+    def in_range(self, sender: Position, receiver: Position) -> bool:
+        """Return True when a frame sent at ``sender`` can reach ``receiver``."""
+        ...
+
+
+@dataclass
+class UnitDiskPropagation:
+    """Classic unit-disk model: reachable iff within ``radio_range`` metres."""
+
+    radio_range: float = 250.0
+
+    def in_range(self, sender: Position, receiver: Position) -> bool:
+        return distance(sender, receiver) <= self.radio_range
+
+
+@dataclass
+class AsymmetricRangePropagation:
+    """Unit-disk model with per-node transmit ranges.
+
+    Used to create asymmetric links (A hears B but not vice versa), one of the
+    situations that makes evidence ``E3`` hard to diagnose.
+    """
+
+    default_range: float = 250.0
+    per_node_range: Dict[str, float] = field(default_factory=dict)
+    _positions_to_node: Dict[Position, str] = field(default_factory=dict)
+
+    def register(self, node_id: str, tx_range: float) -> None:
+        """Assign ``tx_range`` to ``node_id``."""
+        self.per_node_range[node_id] = tx_range
+
+    def range_of(self, node_id: Optional[str]) -> float:
+        """Transmit range of ``node_id`` (or the default when unknown)."""
+        if node_id is None:
+            return self.default_range
+        return self.per_node_range.get(node_id, self.default_range)
+
+    def in_range(self, sender: Position, receiver: Position) -> bool:
+        # Without a node id the model degrades to the default range;
+        # WirelessMedium uses in_range_for when sender identity is known.
+        return distance(sender, receiver) <= self.default_range
+
+    def in_range_for(self, sender_id: str, sender: Position, receiver: Position) -> bool:
+        """Range check using ``sender_id``'s own transmit range."""
+        return distance(sender, receiver) <= self.range_of(sender_id)
+
+
+# --------------------------------------------------------------------------
+# Loss models
+# --------------------------------------------------------------------------
+class LossModel(Protocol):
+    """Per-receiver frame-loss decision."""
+
+    def is_lost(self, frame: Frame, sender: Position, receiver: Position) -> bool:
+        """Return True when the frame is lost on the sender→receiver link."""
+        ...
+
+
+@dataclass
+class PerfectChannel:
+    """Never loses frames."""
+
+    def is_lost(self, frame: Frame, sender: Position, receiver: Position) -> bool:
+        return False
+
+
+@dataclass
+class BernoulliLossModel:
+    """Drop each frame independently with probability ``loss_probability``."""
+
+    loss_probability: float = 0.0
+    rng: random.Random = field(default_factory=random.Random)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must be within [0, 1]")
+
+    def is_lost(self, frame: Frame, sender: Position, receiver: Position) -> bool:
+        if self.loss_probability <= 0.0:
+            return False
+        return self.rng.random() < self.loss_probability
+
+
+@dataclass
+class DistanceLossModel:
+    """Loss probability grows with distance relative to ``radio_range``.
+
+    ``p_loss = min(max_loss, (d / radio_range) ** exponent * max_loss)``.
+    Within a fraction ``reliable_fraction`` of the range, delivery is perfect.
+    """
+
+    radio_range: float = 250.0
+    max_loss: float = 0.8
+    exponent: float = 2.0
+    reliable_fraction: float = 0.5
+    rng: random.Random = field(default_factory=random.Random)
+
+    def loss_probability(self, d: float) -> float:
+        """Loss probability at distance ``d``."""
+        if d <= self.radio_range * self.reliable_fraction:
+            return 0.0
+        ratio = min(d / self.radio_range, 1.0)
+        return min(self.max_loss, (ratio ** self.exponent) * self.max_loss)
+
+    def is_lost(self, frame: Frame, sender: Position, receiver: Position) -> bool:
+        return self.rng.random() < self.loss_probability(distance(sender, receiver))
+
+
+@dataclass
+class CompositeLossModel:
+    """A frame is lost when *any* of the sub-models loses it."""
+
+    models: List[LossModel] = field(default_factory=list)
+
+    def is_lost(self, frame: Frame, sender: Position, receiver: Position) -> bool:
+        return any(m.is_lost(frame, sender, receiver) for m in self.models)
+
+
+# --------------------------------------------------------------------------
+# Collision model
+# --------------------------------------------------------------------------
+@dataclass
+class CollisionModel:
+    """Simple busy-window collision model.
+
+    Two frames collide at a receiver when their on-air intervals overlap.  The
+    on-air duration of a frame is ``size_bytes * 8 / bitrate``.  Both
+    overlapping frames are dropped at that receiver (no capture effect).
+    """
+
+    bitrate_bps: float = 2_000_000.0
+
+    def airtime(self, frame: Frame) -> float:
+        """On-air duration of ``frame`` in seconds."""
+        return frame.size_bytes * 8.0 / self.bitrate_bps
+
+    def overlaps(
+        self, start_a: float, end_a: float, start_b: float, end_b: float
+    ) -> bool:
+        """Whether two on-air intervals overlap."""
+        return start_a < end_b and start_b < end_a
+
+
+# --------------------------------------------------------------------------
+# The medium itself
+# --------------------------------------------------------------------------
+class WirelessMedium:
+    """Single-channel broadcast medium connecting every registered interface.
+
+    The medium needs a position oracle (callable ``node_id -> (x, y)``) which
+    the :class:`repro.netsim.network.Network` provides, so mobility models can
+    move nodes without the medium keeping stale coordinates.
+    """
+
+    def __init__(
+        self,
+        simulator,
+        propagation: Optional[PropagationModel] = None,
+        loss_model: Optional[LossModel] = None,
+        collision_model: Optional[CollisionModel] = None,
+        propagation_delay: float = 1e-4,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._simulator = simulator
+        self.propagation = propagation or UnitDiskPropagation()
+        self.loss_model = loss_model or PerfectChannel()
+        self.collision_model = collision_model
+        self.propagation_delay = propagation_delay
+        self.jitter = jitter
+        self._rng = rng or random.Random(0)
+        self._interfaces: Dict[str, object] = {}
+        self._position_of = None  # set by Network
+        self.stats = MediumStatistics()
+        # receiver id -> list of (start, end) on-air intervals (for collisions)
+        self._busy: Dict[str, List[Tuple[float, float, int]]] = {}
+
+    # ------------------------------------------------------------- wiring
+    def bind_position_oracle(self, oracle) -> None:
+        """Install the callable used to resolve current node positions."""
+        self._position_of = oracle
+
+    def register(self, node_id: str, interface) -> None:
+        """Register a receiving interface (must expose ``receive(frame, now)``)."""
+        if node_id in self._interfaces:
+            raise ValueError(f"interface {node_id!r} already registered")
+        self._interfaces[node_id] = interface
+
+    def unregister(self, node_id: str) -> None:
+        """Remove an interface (node failure / departure)."""
+        self._interfaces.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> List[str]:
+        """Identifiers of all registered interfaces."""
+        return list(self._interfaces)
+
+    # ------------------------------------------------------------ querying
+    def neighbors_of(self, node_id: str) -> List[str]:
+        """Node ids currently within radio range of ``node_id``."""
+        if self._position_of is None:
+            raise RuntimeError("medium has no position oracle bound")
+        origin = self._position_of(node_id)
+        result = []
+        for other in self._interfaces:
+            if other == node_id:
+                continue
+            if self._reaches(node_id, origin, self._position_of(other)):
+                result.append(other)
+        return result
+
+    def connectivity_matrix(self) -> Dict[str, List[str]]:
+        """Mapping node id -> reachable neighbour ids (directed)."""
+        return {nid: self.neighbors_of(nid) for nid in self._interfaces}
+
+    def _reaches(self, sender_id: str, sender_pos: Position, receiver_pos: Position) -> bool:
+        prop = self.propagation
+        if isinstance(prop, AsymmetricRangePropagation):
+            return prop.in_range_for(sender_id, sender_pos, receiver_pos)
+        return prop.in_range(sender_pos, receiver_pos)
+
+    # ---------------------------------------------------------- transmission
+    def transmit(self, frame: Frame) -> None:
+        """Transmit ``frame`` from its source; delivery is scheduled per receiver."""
+        if self._position_of is None:
+            raise RuntimeError("medium has no position oracle bound")
+        if frame.source not in self._interfaces:
+            raise ValueError(f"unknown transmitter {frame.source!r}")
+        now = self._simulator.now
+        frame.created_at = now
+        sender_pos = self._position_of(frame.source)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.size_bytes
+
+        if frame.is_broadcast:
+            receivers = [nid for nid in self._interfaces if nid != frame.source]
+        else:
+            receivers = [frame.destination] if frame.destination in self._interfaces else []
+            if not receivers:
+                self.stats.frames_unroutable += 1
+                return
+
+        for receiver_id in receivers:
+            receiver_pos = self._position_of(receiver_id)
+            if not self._reaches(frame.source, sender_pos, receiver_pos):
+                self.stats.frames_out_of_range += 1
+                continue
+            if self.loss_model.is_lost(frame, sender_pos, receiver_pos):
+                self.stats.frames_lost += 1
+                continue
+            if self.collision_model is not None and self._collides(receiver_id, frame, now):
+                self.stats.frames_collided += 1
+                continue
+            delay = self.propagation_delay
+            if self.jitter:
+                delay += self._rng.uniform(0.0, self.jitter)
+            self._simulator.schedule(delay, self._deliver, receiver_id, frame)
+
+    def _collides(self, receiver_id: str, frame: Frame, now: float) -> bool:
+        model = self.collision_model
+        assert model is not None
+        airtime = model.airtime(frame)
+        start, end = now, now + airtime
+        intervals = self._busy.setdefault(receiver_id, [])
+        # prune stale intervals
+        intervals[:] = [iv for iv in intervals if iv[1] > now - 1.0]
+        collided = any(model.overlaps(start, end, s, e) for s, e, _ in intervals)
+        intervals.append((start, end, frame.frame_id))
+        return collided
+
+    def _deliver(self, receiver_id: str, frame: Frame) -> None:
+        interface = self._interfaces.get(receiver_id)
+        if interface is None:
+            self.stats.frames_unroutable += 1
+            return
+        self.stats.frames_delivered += 1
+        self.stats.bytes_delivered += frame.size_bytes
+        interface.receive(frame, self._simulator.now)

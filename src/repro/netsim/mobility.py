@@ -1,0 +1,211 @@
+"""Node placement and mobility models.
+
+Placement models assign initial coordinates; mobility models additionally
+update coordinates over simulated time.  Models operate on a mutable mapping
+``positions: dict[node_id, (x, y)]`` owned by the network, so the medium
+always sees the current coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+Position = Tuple[float, float]
+
+
+class MobilityModel(Protocol):
+    """Protocol implemented by all placement / mobility models."""
+
+    def place(self, node_ids: Sequence[str]) -> Dict[str, Position]:
+        """Return the initial position of every node."""
+        ...
+
+    def install(self, network) -> None:
+        """Attach the model to the network (schedule periodic moves if mobile)."""
+        ...
+
+
+@dataclass
+class StaticPlacement:
+    """Fixed, caller-supplied coordinates."""
+
+    positions: Dict[str, Position]
+
+    def place(self, node_ids: Sequence[str]) -> Dict[str, Position]:
+        missing = [nid for nid in node_ids if nid not in self.positions]
+        if missing:
+            raise ValueError(f"no position supplied for nodes: {missing}")
+        return {nid: self.positions[nid] for nid in node_ids}
+
+    def install(self, network) -> None:  # static: nothing to schedule
+        return None
+
+
+@dataclass
+class GridPlacement:
+    """Place nodes on a regular grid with the given ``spacing``.
+
+    The grid is as square as possible; spacing is chosen relative to the radio
+    range so that the resulting topology is multi-hop (important for the
+    2-hop-neighbour investigations of the paper).
+    """
+
+    spacing: float = 180.0
+    origin: Position = (0.0, 0.0)
+    columns: Optional[int] = None
+
+    def place(self, node_ids: Sequence[str]) -> Dict[str, Position]:
+        n = len(node_ids)
+        cols = self.columns or max(1, int(math.ceil(math.sqrt(n))))
+        ox, oy = self.origin
+        positions: Dict[str, Position] = {}
+        for index, nid in enumerate(node_ids):
+            row, col = divmod(index, cols)
+            positions[nid] = (ox + col * self.spacing, oy + row * self.spacing)
+        return positions
+
+    def install(self, network) -> None:
+        return None
+
+
+@dataclass
+class UniformRandomPlacement:
+    """Uniform random placement in a ``width`` × ``height`` rectangle."""
+
+    width: float = 1000.0
+    height: float = 1000.0
+    rng: random.Random = field(default_factory=random.Random)
+
+    def place(self, node_ids: Sequence[str]) -> Dict[str, Position]:
+        return {
+            nid: (self.rng.uniform(0.0, self.width), self.rng.uniform(0.0, self.height))
+            for nid in node_ids
+        }
+
+    def install(self, network) -> None:
+        return None
+
+
+@dataclass
+class RandomWaypointMobility:
+    """Random-waypoint mobility.
+
+    Each node picks a random destination and speed in ``[min_speed, max_speed]``,
+    moves there in straight line, pauses ``pause_time`` seconds, then repeats.
+    Positions are updated every ``update_interval`` seconds of simulated time.
+    """
+
+    width: float = 1000.0
+    height: float = 1000.0
+    min_speed: float = 1.0
+    max_speed: float = 5.0
+    pause_time: float = 2.0
+    update_interval: float = 1.0
+    rng: random.Random = field(default_factory=random.Random)
+    _targets: Dict[str, Position] = field(default_factory=dict)
+    _speeds: Dict[str, float] = field(default_factory=dict)
+    _pause_until: Dict[str, float] = field(default_factory=dict)
+
+    def place(self, node_ids: Sequence[str]) -> Dict[str, Position]:
+        positions = {
+            nid: (self.rng.uniform(0.0, self.width), self.rng.uniform(0.0, self.height))
+            for nid in node_ids
+        }
+        for nid in node_ids:
+            self._pick_new_target(nid)
+        return positions
+
+    def install(self, network) -> None:
+        network.simulator.schedule_periodic(
+            self.update_interval,
+            self._advance,
+            network,
+            start_delay=self.update_interval,
+        )
+
+    # internal ------------------------------------------------------------
+    def _pick_new_target(self, node_id: str) -> None:
+        self._targets[node_id] = (
+            self.rng.uniform(0.0, self.width),
+            self.rng.uniform(0.0, self.height),
+        )
+        self._speeds[node_id] = self.rng.uniform(self.min_speed, self.max_speed)
+
+    def _advance(self, network) -> None:
+        now = network.simulator.now
+        for node_id, position in list(network.positions.items()):
+            if self._pause_until.get(node_id, 0.0) > now:
+                continue
+            target = self._targets.get(node_id)
+            if target is None:
+                self._pick_new_target(node_id)
+                target = self._targets[node_id]
+            speed = self._speeds.get(node_id, self.min_speed)
+            step = speed * self.update_interval
+            dx, dy = target[0] - position[0], target[1] - position[1]
+            dist = math.hypot(dx, dy)
+            if dist <= step:
+                network.positions[node_id] = target
+                self._pause_until[node_id] = now + self.pause_time
+                self._pick_new_target(node_id)
+            else:
+                network.positions[node_id] = (
+                    position[0] + dx / dist * step,
+                    position[1] + dy / dist * step,
+                )
+
+
+@dataclass
+class RandomWalkMobility:
+    """Brownian-style random walk: each update, move a random small step."""
+
+    width: float = 1000.0
+    height: float = 1000.0
+    max_step: float = 10.0
+    update_interval: float = 1.0
+    rng: random.Random = field(default_factory=random.Random)
+
+    def place(self, node_ids: Sequence[str]) -> Dict[str, Position]:
+        return {
+            nid: (self.rng.uniform(0.0, self.width), self.rng.uniform(0.0, self.height))
+            for nid in node_ids
+        }
+
+    def install(self, network) -> None:
+        network.simulator.schedule_periodic(
+            self.update_interval,
+            self._advance,
+            network,
+            start_delay=self.update_interval,
+        )
+
+    def _advance(self, network) -> None:
+        for node_id, (x, y) in list(network.positions.items()):
+            nx = x + self.rng.uniform(-self.max_step, self.max_step)
+            ny = y + self.rng.uniform(-self.max_step, self.max_step)
+            network.positions[node_id] = (
+                min(max(nx, 0.0), self.width),
+                min(max(ny, 0.0), self.height),
+            )
+
+
+def ring_positions(node_ids: Sequence[str], radius: float, center: Position = (0.0, 0.0)) -> Dict[str, Position]:
+    """Place nodes evenly on a circle (useful for fully controlled topologies)."""
+    n = len(node_ids)
+    positions: Dict[str, Position] = {}
+    for index, nid in enumerate(node_ids):
+        angle = 2.0 * math.pi * index / max(n, 1)
+        positions[nid] = (
+            center[0] + radius * math.cos(angle),
+            center[1] + radius * math.sin(angle),
+        )
+    return positions
+
+
+def chain_positions(node_ids: Sequence[str], spacing: float, origin: Position = (0.0, 0.0)) -> Dict[str, Position]:
+    """Place nodes on a straight horizontal chain (multi-hop line topology)."""
+    ox, oy = origin
+    return {nid: (ox + index * spacing, oy) for index, nid in enumerate(node_ids)}

@@ -1,0 +1,199 @@
+"""Network container: wires the engine, the medium, mobility and the nodes.
+
+A :class:`Network` owns the simulated clock, the node positions (so mobility
+models can move nodes) and the set of attached interfaces.  Protocol nodes
+(:class:`repro.olsr.node.OlsrNode`) attach through the small
+:class:`NetworkInterface` adapter, which is the only thing the medium sees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.medium import WirelessMedium, UnitDiskPropagation, PerfectChannel
+from repro.netsim.mobility import MobilityModel, GridPlacement
+from repro.netsim.packet import Frame
+from repro.netsim.trace import TraceRecorder
+
+Position = Tuple[float, float]
+
+
+class FrameReceiver(Protocol):
+    """Anything able to accept frames from the medium."""
+
+    def receive(self, frame: Frame, now: float) -> None:
+        """Handle a delivered frame at simulated time ``now``."""
+        ...
+
+
+class NetworkInterface:
+    """Adapter between a protocol node and the wireless medium.
+
+    The interface forwards received frames to the ``handler`` callable and
+    exposes :meth:`send` / :meth:`broadcast` for the node to transmit.
+    """
+
+    def __init__(self, node_id: str, network: "Network") -> None:
+        self.node_id = node_id
+        self._network = network
+        self._handler: Optional[Callable[[Frame, float], None]] = None
+        self.up = True
+
+    def bind(self, handler: Callable[[Frame, float], None]) -> None:
+        """Install the upper-layer receive handler."""
+        self._handler = handler
+
+    def receive(self, frame: Frame, now: float) -> None:
+        """Deliver a frame to the bound handler (dropped when interface is down)."""
+        if not self.up or self._handler is None:
+            return
+        self._handler(frame, now)
+
+    def send(self, frame: Frame) -> None:
+        """Transmit a pre-built frame."""
+        if not self.up:
+            return
+        self._network.medium.transmit(frame)
+
+    def broadcast(self, payload, size_bytes: int = 64, **metadata) -> Frame:
+        """Broadcast ``payload`` to every node in range; returns the frame."""
+        frame = Frame(
+            source=self.node_id,
+            destination="ff:ff",
+            payload=payload,
+            size_bytes=size_bytes,
+            metadata=metadata,
+        )
+        self.send(frame)
+        return frame
+
+    def unicast(self, destination: str, payload, size_bytes: int = 64, **metadata) -> Frame:
+        """Send ``payload`` to a single link-layer destination; returns the frame."""
+        frame = Frame(
+            source=self.node_id,
+            destination=destination,
+            payload=payload,
+            size_bytes=size_bytes,
+            metadata=metadata,
+        )
+        self.send(frame)
+        return frame
+
+
+class Network:
+    """A simulated ad hoc network.
+
+    Parameters
+    ----------
+    simulator:
+        Discrete-event engine; a fresh one is created when omitted.
+    medium:
+        Wireless medium; defaults to a perfect unit-disk channel.
+    mobility:
+        Placement / mobility model applied to nodes added via
+        :meth:`add_nodes`.
+    seed:
+        Seed for the network-level random generator (handed to components
+        that need randomness but were not given their own RNG).
+    """
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        medium: Optional[WirelessMedium] = None,
+        mobility: Optional[MobilityModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.simulator = simulator or Simulator()
+        self.rng = random.Random(seed)
+        self.medium = medium or WirelessMedium(
+            self.simulator,
+            propagation=UnitDiskPropagation(),
+            loss_model=PerfectChannel(),
+        )
+        self.medium.bind_position_oracle(self.position_of)
+        self.mobility = mobility or GridPlacement()
+        self.positions: Dict[str, Position] = {}
+        self.interfaces: Dict[str, NetworkInterface] = {}
+        self.nodes: Dict[str, object] = {}
+        self.trace = TraceRecorder()
+        self._mobility_installed = False
+
+    # ------------------------------------------------------------ topology
+    def position_of(self, node_id: str) -> Position:
+        """Current coordinates of ``node_id``."""
+        try:
+            return self.positions[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def set_position(self, node_id: str, position: Position) -> None:
+        """Teleport a node (used by tests and scripted scenarios)."""
+        if node_id not in self.positions:
+            raise KeyError(f"unknown node {node_id!r}")
+        self.positions[node_id] = position
+
+    def neighbors_of(self, node_id: str) -> List[str]:
+        """Nodes currently within radio range of ``node_id``."""
+        return self.medium.neighbors_of(node_id)
+
+    # ------------------------------------------------------------- node mgmt
+    def create_interface(self, node_id: str, position: Optional[Position] = None) -> NetworkInterface:
+        """Register a new node id and return its medium-facing interface."""
+        if node_id in self.interfaces:
+            raise ValueError(f"node {node_id!r} already exists")
+        interface = NetworkInterface(node_id, self)
+        self.interfaces[node_id] = interface
+        self.medium.register(node_id, interface)
+        self.positions[node_id] = position if position is not None else (0.0, 0.0)
+        return interface
+
+    def add_nodes(self, node_ids: List[str]) -> Dict[str, NetworkInterface]:
+        """Create interfaces for ``node_ids`` and place them with the mobility model."""
+        placements = self.mobility.place(node_ids)
+        created = {}
+        for node_id in node_ids:
+            created[node_id] = self.create_interface(node_id, placements[node_id])
+        if not self._mobility_installed:
+            self.mobility.install(self)
+            self._mobility_installed = True
+        return created
+
+    def attach_node(self, node_id: str, node: object) -> None:
+        """Remember the protocol node object bound to ``node_id``."""
+        self.nodes[node_id] = node
+
+    def remove_node(self, node_id: str) -> None:
+        """Detach a node entirely (interface, position and protocol object)."""
+        self.medium.unregister(node_id)
+        self.interfaces.pop(node_id, None)
+        self.positions.pop(node_id, None)
+        self.nodes.pop(node_id, None)
+
+    def fail_node(self, node_id: str) -> None:
+        """Take a node's interface down without removing it (crash model)."""
+        interface = self.interfaces.get(node_id)
+        if interface is not None:
+            interface.up = False
+
+    def recover_node(self, node_id: str) -> None:
+        """Bring a previously failed node's interface back up."""
+        interface = self.interfaces.get(node_id)
+        if interface is not None:
+            interface.up = True
+
+    # ---------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the underlying simulator until ``until`` (or queue exhaustion)."""
+        self.simulator.run(until=until)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.simulator.now
+
+    def node_ids(self) -> List[str]:
+        """All registered node identifiers (sorted for determinism)."""
+        return sorted(self.interfaces)

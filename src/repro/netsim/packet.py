@@ -1,0 +1,76 @@
+"""Link-layer frame model used by the wireless medium.
+
+A :class:`Frame` carries an opaque ``payload`` (for OLSR this is an
+:class:`repro.olsr.packet.OlsrPacket`).  Frames are addressed either to the
+link-layer broadcast address or to a specific node identifier.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Link-layer broadcast destination; every node within radio range receives it.
+BROADCAST_ADDRESS = "ff:ff"
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """A link-layer transmission unit.
+
+    Attributes
+    ----------
+    source:
+        Identifier of the transmitting node.
+    destination:
+        Identifier of the intended receiver, or :data:`BROADCAST_ADDRESS`.
+    payload:
+        Arbitrary upper-layer content.
+    size_bytes:
+        Nominal on-air size used by statistics and (optionally) collision
+        windows.
+    frame_id:
+        Monotonically increasing identifier assigned at creation.
+    created_at:
+        Simulated time at which the frame was handed to the medium (filled in
+        by the medium).
+    metadata:
+        Free-form dictionary for attack modules and traces (e.g. replay
+        markers, wormhole tunnel ids).
+    """
+
+    source: str
+    destination: str
+    payload: Any
+    size_bytes: int = 64
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    created_at: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the frame is addressed to every node in range."""
+        return self.destination == BROADCAST_ADDRESS
+
+    def copy_for(self, destination: str) -> "Frame":
+        """Return a copy of the frame re-addressed to ``destination``.
+
+        The payload object is shared (frames are treated as immutable once
+        transmitted); a new ``frame_id`` is assigned so traces can tell the
+        copies apart.
+        """
+        return Frame(
+            source=self.source,
+            destination=destination,
+            payload=self.payload,
+            size_bytes=self.size_bytes,
+            created_at=self.created_at,
+            metadata=dict(self.metadata),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "bcast" if self.is_broadcast else f"to={self.destination}"
+        return f"Frame(#{self.frame_id} {self.source} {kind} {self.size_bytes}B)"

@@ -1,0 +1,104 @@
+"""Transmission statistics collected by the wireless medium."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict
+
+
+@dataclass
+class MediumStatistics:
+    """Counters maintained by :class:`repro.netsim.medium.WirelessMedium`."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_lost: int = 0
+    frames_collided: int = 0
+    frames_out_of_range: int = 0
+    frames_unroutable: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / attempted per-receiver deliveries (0 when nothing sent)."""
+        attempted = (
+            self.frames_delivered
+            + self.frames_lost
+            + self.frames_collided
+            + self.frames_out_of_range
+        )
+        if attempted == 0:
+            return 0.0
+        return self.frames_delivered / attempted
+
+    @property
+    def loss_ratio(self) -> float:
+        """Lost (channel loss + collisions) / attempted deliveries."""
+        attempted = (
+            self.frames_delivered
+            + self.frames_lost
+            + self.frames_collided
+            + self.frames_out_of_range
+        )
+        if attempted == 0:
+            return 0.0
+        return (self.frames_lost + self.frames_collided) / attempted
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters plus derived ratios."""
+        data = asdict(self)
+        data["delivery_ratio"] = self.delivery_ratio
+        data["loss_ratio"] = self.loss_ratio
+        return data
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in (
+            "frames_sent",
+            "frames_delivered",
+            "frames_lost",
+            "frames_collided",
+            "frames_out_of_range",
+            "frames_unroutable",
+            "bytes_sent",
+            "bytes_delivered",
+        ):
+            setattr(self, name, 0)
+
+
+@dataclass
+class NodeStatistics:
+    """Per-node transmit/receive counters (used by OLSR nodes)."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_forwarded: int = 0
+    messages_dropped: int = 0
+    hello_sent: int = 0
+    hello_received: int = 0
+    tc_sent: int = 0
+    tc_received: int = 0
+    duplicates_suppressed: int = 0
+    per_type_sent: Dict[str, int] = field(default_factory=dict)
+    per_type_received: Dict[str, int] = field(default_factory=dict)
+
+    def record_sent(self, message_type: str) -> None:
+        """Account for an originated message of ``message_type``."""
+        self.messages_sent += 1
+        self.per_type_sent[message_type] = self.per_type_sent.get(message_type, 0) + 1
+        if message_type == "HELLO":
+            self.hello_sent += 1
+        elif message_type == "TC":
+            self.tc_sent += 1
+
+    def record_received(self, message_type: str) -> None:
+        """Account for a received message of ``message_type``."""
+        self.messages_received += 1
+        self.per_type_received[message_type] = (
+            self.per_type_received.get(message_type, 0) + 1
+        )
+        if message_type == "HELLO":
+            self.hello_received += 1
+        elif message_type == "TC":
+            self.tc_received += 1

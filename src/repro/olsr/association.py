@@ -1,0 +1,164 @@
+"""Association sets for multiple interfaces (MID) and external routes (HNA).
+
+RFC 3626 §5 lets a node with several network interfaces declare them in MID
+messages so that any of its addresses maps back to one *main address*; §12
+lets a gateway announce routes toward external (non-OLSR) networks in HNA
+messages.  Both are association tables with expiry, maintained from the
+respective flooded messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class InterfaceAssociation:
+    """One interface address associated to a main address (RFC §5.1)."""
+
+    interface_address: str
+    main_address: str
+    expiry_time: float = 0.0
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the association should be discarded."""
+        return self.expiry_time < now
+
+
+class InterfaceAssociationSet:
+    """Mapping of secondary interface addresses to main addresses."""
+
+    def __init__(self) -> None:
+        self._associations: Dict[str, InterfaceAssociation] = {}
+
+    def process_mid(self, main_address: str, interface_addresses: List[str],
+                    now: float, hold_time: float) -> bool:
+        """Apply a MID message; returns True when something changed."""
+        changed = False
+        for address in interface_addresses:
+            if address == main_address:
+                continue
+            existing = self._associations.get(address)
+            if existing is None or existing.main_address != main_address:
+                changed = True
+            self._associations[address] = InterfaceAssociation(
+                interface_address=address,
+                main_address=main_address,
+                expiry_time=now + hold_time,
+            )
+        return changed
+
+    def main_address_of(self, address: str) -> str:
+        """Main address of ``address`` (itself when no association is known)."""
+        association = self._associations.get(address)
+        return association.main_address if association else address
+
+    def interfaces_of(self, main_address: str) -> Set[str]:
+        """Secondary addresses associated to ``main_address``."""
+        return {
+            a.interface_address
+            for a in self._associations.values()
+            if a.main_address == main_address
+        }
+
+    def purge_expired(self, now: float) -> List[InterfaceAssociation]:
+        """Drop expired associations; returns the removed ones."""
+        expired = [a for a in self._associations.values() if a.is_expired(now)]
+        for association in expired:
+            del self._associations[association.interface_address]
+        return expired
+
+    def __len__(self) -> int:
+        return len(self._associations)
+
+    def __iter__(self):
+        return iter(self._associations.values())
+
+
+@dataclass
+class HnaAssociation:
+    """One announced external network (RFC §12.1)."""
+
+    gateway_address: str
+    network: str
+    netmask: str
+    expiry_time: float = 0.0
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the association should be discarded."""
+        return self.expiry_time < now
+
+
+class HnaAssociationSet:
+    """External networks announced by gateways."""
+
+    def __init__(self) -> None:
+        self._associations: Dict[Tuple[str, str, str], HnaAssociation] = {}
+
+    def process_hna(self, gateway_address: str, networks: List[Tuple[str, str]],
+                    now: float, hold_time: float) -> bool:
+        """Apply an HNA message; returns True when something changed."""
+        changed = False
+        for network, netmask in networks:
+            key = (gateway_address, network, netmask)
+            if key not in self._associations:
+                changed = True
+            self._associations[key] = HnaAssociation(
+                gateway_address=gateway_address,
+                network=network,
+                netmask=netmask,
+                expiry_time=now + hold_time,
+            )
+        return changed
+
+    def gateways_for(self, network: str) -> Set[str]:
+        """Gateways announcing reachability to ``network``."""
+        return {
+            a.gateway_address
+            for a in self._associations.values()
+            if a.network == network
+        }
+
+    def networks(self) -> Set[Tuple[str, str]]:
+        """Every announced (network, netmask) pair."""
+        return {(a.network, a.netmask) for a in self._associations.values()}
+
+    def announcements_of(self, gateway_address: str) -> Set[Tuple[str, str]]:
+        """Networks announced by ``gateway_address``."""
+        return {
+            (a.network, a.netmask)
+            for a in self._associations.values()
+            if a.gateway_address == gateway_address
+        }
+
+    def purge_expired(self, now: float) -> List[HnaAssociation]:
+        """Drop expired associations; returns the removed ones."""
+        expired = [a for a in self._associations.values() if a.is_expired(now)]
+        for association in expired:
+            del self._associations[(association.gateway_address, association.network,
+                                    association.netmask)]
+        return expired
+
+    def best_gateway(self, network: str, route_distance) -> Optional[str]:
+        """Closest gateway for ``network`` according to ``route_distance``.
+
+        ``route_distance`` is a callable mapping a gateway address to its hop
+        count (or ``None`` when unreachable), typically
+        ``routing_table.distance``.
+        """
+        candidates = []
+        for gateway in self.gateways_for(network):
+            distance = route_distance(gateway)
+            if distance is not None:
+                candidates.append((distance, gateway))
+        if not candidates:
+            return None
+        candidates.sort()
+        return candidates[0][1]
+
+    def __len__(self) -> int:
+        return len(self._associations)
+
+    def __iter__(self):
+        return iter(self._associations.values())

@@ -1,0 +1,91 @@
+"""Duplicate set: suppression of already-processed / already-forwarded messages.
+
+RFC 3626 §3.4 default forwarding algorithm relies on a duplicate set keyed by
+(originator, message sequence number) to ensure each message is processed at
+most once and retransmitted at most once per interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass
+class DuplicateTuple:
+    """Record of a message already seen (RFC §3.4.1)."""
+
+    originator: str
+    message_seq_number: int
+    retransmitted: bool = False
+    expiry_time: float = 0.0
+    received_from: Set[str] = field(default_factory=set)
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the tuple should be discarded."""
+        return self.expiry_time < now
+
+
+class DuplicateSet:
+    """Collection of :class:`DuplicateTuple` keyed by (originator, sequence)."""
+
+    def __init__(self, hold_time: float = 30.0) -> None:
+        self.hold_time = hold_time
+        self._tuples: Dict[Tuple[str, int], DuplicateTuple] = {}
+
+    def _key(self, originator: str, seq: int) -> Tuple[str, int]:
+        return (originator, seq)
+
+    def seen(self, originator: str, seq: int) -> bool:
+        """Whether the message has already been processed."""
+        return self._key(originator, seq) in self._tuples
+
+    def already_forwarded(self, originator: str, seq: int) -> bool:
+        """Whether the message has already been retransmitted by this node."""
+        record = self._tuples.get(self._key(originator, seq))
+        return bool(record and record.retransmitted)
+
+    def record(
+        self,
+        originator: str,
+        seq: int,
+        now: float,
+        received_from: str,
+        retransmitted: bool = False,
+    ) -> DuplicateTuple:
+        """Record (or refresh) a message occurrence."""
+        key = self._key(originator, seq)
+        record = self._tuples.get(key)
+        if record is None:
+            record = DuplicateTuple(
+                originator=originator,
+                message_seq_number=seq,
+                retransmitted=retransmitted,
+                expiry_time=now + self.hold_time,
+                received_from={received_from},
+            )
+            self._tuples[key] = record
+        else:
+            record.expiry_time = now + self.hold_time
+            record.received_from.add(received_from)
+            record.retransmitted = record.retransmitted or retransmitted
+        return record
+
+    def mark_forwarded(self, originator: str, seq: int) -> None:
+        """Mark a recorded message as retransmitted."""
+        record = self._tuples.get(self._key(originator, seq))
+        if record is not None:
+            record.retransmitted = True
+
+    def purge_expired(self, now: float) -> List[DuplicateTuple]:
+        """Drop expired tuples; returns the removed ones."""
+        expired = [t for t in self._tuples.values() if t.is_expired(now)]
+        for record in expired:
+            del self._tuples[(record.originator, record.message_seq_number)]
+        return expired
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self):
+        return iter(self._tuples.values())

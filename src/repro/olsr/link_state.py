@@ -1,0 +1,280 @@
+"""OLSR information repositories: link set, neighbour sets, MPR-selector set.
+
+These follow RFC 3626 sections 4.2–4.3 and 8.4.  Every repository exposes
+``purge_expired(now)`` so the node can discard stale tuples when processing
+its periodic timers, plus the queries the MPR-selection and routing
+computations need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.olsr.constants import Willingness
+
+
+# --------------------------------------------------------------------- links
+@dataclass
+class LinkTuple:
+    """One local link (RFC §4.2.1).
+
+    ``sym_time`` and ``asym_time`` are absolute expiry times; the link is
+    symmetric while ``sym_time`` has not expired, asymmetric (heard-only)
+    while only ``asym_time`` holds, and lost otherwise.
+    """
+
+    local_address: str
+    neighbor_address: str
+    sym_time: float = -1.0
+    asym_time: float = -1.0
+    expiry_time: float = 0.0
+
+    def is_symmetric(self, now: float) -> bool:
+        """Whether the link is currently symmetric."""
+        return self.sym_time >= now
+
+    def is_asymmetric(self, now: float) -> bool:
+        """Whether the link is heard but not (yet) symmetric."""
+        return self.asym_time >= now and not self.is_symmetric(now)
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the whole tuple should be discarded."""
+        return self.expiry_time < now
+
+    def status(self, now: float) -> str:
+        """Human-readable link status used in audit logs."""
+        if self.is_symmetric(now):
+            return "SYM"
+        if self.is_asymmetric(now):
+            return "ASYM"
+        return "LOST"
+
+
+class LinkSet:
+    """Collection of :class:`LinkTuple`, keyed by neighbour address."""
+
+    def __init__(self) -> None:
+        self._links: Dict[str, LinkTuple] = {}
+
+    def get(self, neighbor_address: str) -> Optional[LinkTuple]:
+        """Link tuple towards ``neighbor_address`` (None when absent)."""
+        return self._links.get(neighbor_address)
+
+    def upsert(self, link: LinkTuple) -> LinkTuple:
+        """Insert or replace the link towards ``link.neighbor_address``."""
+        self._links[link.neighbor_address] = link
+        return link
+
+    def remove(self, neighbor_address: str) -> None:
+        """Remove the link towards ``neighbor_address`` if present."""
+        self._links.pop(neighbor_address, None)
+
+    def purge_expired(self, now: float) -> List[LinkTuple]:
+        """Drop expired tuples; returns the removed ones."""
+        expired = [l for l in self._links.values() if l.is_expired(now)]
+        for link in expired:
+            del self._links[link.neighbor_address]
+        return expired
+
+    def symmetric_neighbors(self, now: float) -> Set[str]:
+        """Addresses with a currently symmetric link."""
+        return {a for a, l in self._links.items() if l.is_symmetric(now)}
+
+    def asymmetric_neighbors(self, now: float) -> Set[str]:
+        """Addresses heard but not symmetric."""
+        return {a for a, l in self._links.items() if l.is_asymmetric(now)}
+
+    def all_neighbors(self) -> Set[str]:
+        """Every address with a (non-purged) link tuple."""
+        return set(self._links)
+
+    def __iter__(self):
+        return iter(self._links.values())
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+
+# ----------------------------------------------------------------- neighbours
+@dataclass
+class NeighborTuple:
+    """One 1-hop neighbour (RFC §4.3.1)."""
+
+    neighbor_address: str
+    symmetric: bool = False
+    willingness: Willingness = Willingness.WILL_DEFAULT
+
+
+class NeighborSet:
+    """Collection of :class:`NeighborTuple` keyed by address."""
+
+    def __init__(self) -> None:
+        self._neighbors: Dict[str, NeighborTuple] = {}
+
+    def get(self, address: str) -> Optional[NeighborTuple]:
+        """Neighbour tuple for ``address`` (None when absent)."""
+        return self._neighbors.get(address)
+
+    def upsert(self, neighbor: NeighborTuple) -> NeighborTuple:
+        """Insert or replace the tuple for ``neighbor.neighbor_address``."""
+        self._neighbors[neighbor.neighbor_address] = neighbor
+        return neighbor
+
+    def remove(self, address: str) -> None:
+        """Remove the tuple for ``address`` if present."""
+        self._neighbors.pop(address, None)
+
+    def symmetric_neighbors(self) -> Set[str]:
+        """Addresses of neighbours with symmetric status."""
+        return {a for a, n in self._neighbors.items() if n.symmetric}
+
+    def willingness_of(self, address: str) -> Willingness:
+        """Willingness of ``address`` (default when unknown)."""
+        neighbor = self._neighbors.get(address)
+        return neighbor.willingness if neighbor else Willingness.WILL_DEFAULT
+
+    def addresses(self) -> Set[str]:
+        """Every known 1-hop neighbour address."""
+        return set(self._neighbors)
+
+    def __iter__(self):
+        return iter(self._neighbors.values())
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+
+# ------------------------------------------------------------ 2-hop neighbours
+@dataclass(frozen=True)
+class TwoHopKey:
+    """Dictionary key for a 2-hop tuple."""
+
+    neighbor_address: str
+    two_hop_address: str
+
+
+@dataclass
+class TwoHopTuple:
+    """One 2-hop neighbour reachable through ``neighbor_address`` (RFC §4.3.2)."""
+
+    neighbor_address: str
+    two_hop_address: str
+    expiry_time: float = 0.0
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the tuple should be discarded."""
+        return self.expiry_time < now
+
+
+class TwoHopNeighborSet:
+    """Collection of :class:`TwoHopTuple`."""
+
+    def __init__(self) -> None:
+        self._tuples: Dict[TwoHopKey, TwoHopTuple] = {}
+
+    def upsert(self, record: TwoHopTuple) -> TwoHopTuple:
+        """Insert or refresh a 2-hop tuple."""
+        key = TwoHopKey(record.neighbor_address, record.two_hop_address)
+        self._tuples[key] = record
+        return record
+
+    def remove_for_neighbor(self, neighbor_address: str) -> None:
+        """Drop every tuple whose intermediate is ``neighbor_address``."""
+        stale = [k for k in self._tuples if k.neighbor_address == neighbor_address]
+        for key in stale:
+            del self._tuples[key]
+
+    def remove(self, neighbor_address: str, two_hop_address: str) -> None:
+        """Drop one (neighbour, 2-hop) tuple if present."""
+        self._tuples.pop(TwoHopKey(neighbor_address, two_hop_address), None)
+
+    def purge_expired(self, now: float) -> List[TwoHopTuple]:
+        """Drop expired tuples; returns the removed ones."""
+        expired = [t for t in self._tuples.values() if t.is_expired(now)]
+        for record in expired:
+            del self._tuples[TwoHopKey(record.neighbor_address, record.two_hop_address)]
+        return expired
+
+    def two_hop_addresses(self) -> Set[str]:
+        """Every known 2-hop address."""
+        return {t.two_hop_address for t in self._tuples.values()}
+
+    def reachable_through(self, neighbor_address: str) -> Set[str]:
+        """2-hop addresses reachable through the given 1-hop neighbour."""
+        return {
+            t.two_hop_address
+            for t in self._tuples.values()
+            if t.neighbor_address == neighbor_address
+        }
+
+    def providers_of(self, two_hop_address: str) -> Set[str]:
+        """1-hop neighbours that provide connectivity to ``two_hop_address``."""
+        return {
+            t.neighbor_address
+            for t in self._tuples.values()
+            if t.two_hop_address == two_hop_address
+        }
+
+    def coverage_map(self) -> Dict[str, Set[str]]:
+        """Mapping 1-hop neighbour -> set of 2-hop addresses it covers."""
+        coverage: Dict[str, Set[str]] = {}
+        for record in self._tuples.values():
+            coverage.setdefault(record.neighbor_address, set()).add(record.two_hop_address)
+        return coverage
+
+    def __iter__(self):
+        return iter(self._tuples.values())
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+
+# ------------------------------------------------------------- MPR selectors
+@dataclass
+class MprSelectorTuple:
+    """A neighbour that selected the local node as MPR (RFC §4.3.4)."""
+
+    selector_address: str
+    expiry_time: float = 0.0
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the tuple should be discarded."""
+        return self.expiry_time < now
+
+
+class MprSelectorSet:
+    """Collection of :class:`MprSelectorTuple` keyed by selector address."""
+
+    def __init__(self) -> None:
+        self._selectors: Dict[str, MprSelectorTuple] = {}
+
+    def upsert(self, record: MprSelectorTuple) -> MprSelectorTuple:
+        """Insert or refresh a selector tuple."""
+        self._selectors[record.selector_address] = record
+        return record
+
+    def remove(self, selector_address: str) -> None:
+        """Remove a selector tuple if present."""
+        self._selectors.pop(selector_address, None)
+
+    def purge_expired(self, now: float) -> List[MprSelectorTuple]:
+        """Drop expired tuples; returns the removed ones."""
+        expired = [s for s in self._selectors.values() if s.is_expired(now)]
+        for record in expired:
+            del self._selectors[record.selector_address]
+        return expired
+
+    def addresses(self) -> Set[str]:
+        """Every address that currently selects the local node as MPR."""
+        return set(self._selectors)
+
+    def contains(self, address: str) -> bool:
+        """Whether ``address`` selects the local node as MPR."""
+        return address in self._selectors
+
+    def __iter__(self):
+        return iter(self._selectors.values())
+
+    def __len__(self) -> int:
+        return len(self._selectors)

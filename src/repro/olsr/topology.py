@@ -1,0 +1,127 @@
+"""Topology information base built from TC messages (RFC 3626 §9.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class TopologyTuple:
+    """One advertised topology edge: ``last_address`` can reach ``destination_address``."""
+
+    destination_address: str
+    last_address: str
+    ansn: int
+    expiry_time: float = 0.0
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the tuple should be discarded."""
+        return self.expiry_time < now
+
+
+class TopologySet:
+    """Collection of :class:`TopologyTuple` keyed by (destination, last hop)."""
+
+    def __init__(self) -> None:
+        self._tuples: Dict[Tuple[str, str], TopologyTuple] = {}
+        self._latest_ansn: Dict[str, int] = {}
+
+    # ---------------------------------------------------------------- update
+    def process_tc(
+        self,
+        originator: str,
+        ansn: int,
+        advertised: Set[str],
+        now: float,
+        hold_time: float,
+    ) -> bool:
+        """Apply a TC message from ``originator``.
+
+        Implements the RFC freshness rule: a TC whose ANSN is older than the
+        freshest one already recorded for the originator is ignored.  Returns
+        ``True`` when the topology set was modified.
+        """
+        latest = self._latest_ansn.get(originator)
+        if latest is not None and _ansn_older(ansn, latest):
+            return False
+        self._latest_ansn[originator] = ansn
+
+        changed = False
+        # Remove tuples from this originator with an older ANSN.
+        stale = [
+            key
+            for key, record in self._tuples.items()
+            if record.last_address == originator and _ansn_older(record.ansn, ansn)
+        ]
+        for key in stale:
+            del self._tuples[key]
+            changed = True
+
+        for destination in advertised:
+            key = (destination, originator)
+            existing = self._tuples.get(key)
+            if existing is None:
+                changed = True
+            self._tuples[key] = TopologyTuple(
+                destination_address=destination,
+                last_address=originator,
+                ansn=ansn,
+                expiry_time=now + hold_time,
+            )
+        return changed
+
+    def remove_for_originator(self, originator: str) -> None:
+        """Drop every edge advertised by ``originator``."""
+        stale = [key for key, rec in self._tuples.items() if rec.last_address == originator]
+        for key in stale:
+            del self._tuples[key]
+
+    def purge_expired(self, now: float) -> List[TopologyTuple]:
+        """Drop expired tuples; returns the removed ones."""
+        expired = [t for t in self._tuples.values() if t.is_expired(now)]
+        for record in expired:
+            del self._tuples[(record.destination_address, record.last_address)]
+        return expired
+
+    # --------------------------------------------------------------- queries
+    def edges(self) -> List[Tuple[str, str]]:
+        """All (last_address, destination_address) directed edges."""
+        return [(t.last_address, t.destination_address) for t in self._tuples.values()]
+
+    def destinations(self) -> Set[str]:
+        """All advertised destination addresses."""
+        return {t.destination_address for t in self._tuples.values()}
+
+    def last_hops_for(self, destination: str) -> Set[str]:
+        """Nodes advertising reachability to ``destination``."""
+        return {
+            t.last_address
+            for t in self._tuples.values()
+            if t.destination_address == destination
+        }
+
+    def advertised_by(self, last_address: str) -> Set[str]:
+        """Destinations advertised by ``last_address``."""
+        return {
+            t.destination_address
+            for t in self._tuples.values()
+            if t.last_address == last_address
+        }
+
+    def get(self, destination: str, last_address: str) -> Optional[TopologyTuple]:
+        """Specific tuple (None when absent)."""
+        return self._tuples.get((destination, last_address))
+
+    def __iter__(self):
+        return iter(self._tuples.values())
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+
+def _ansn_older(candidate: int, reference: int, window: int = 32768) -> bool:
+    """Sequence-number comparison with wrap-around (RFC §19)."""
+    return (reference > candidate and reference - candidate <= window) or (
+        candidate > reference and candidate - reference > window
+    )

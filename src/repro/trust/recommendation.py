@@ -1,0 +1,112 @@
+"""Recommendation-trust bookkeeping.
+
+``R^{A,S}`` measures how much node ``A`` trusts the *recommendations* issued
+by node ``S`` — which is distinct from how much ``A`` trusts ``S``'s routing
+behaviour.  The manager below maintains these values from the outcome of past
+investigations: a recommender whose answers agree with the final verdict
+gains recommendation trust, one whose answers disagree loses it (faster,
+keeping the defensive asymmetry of the main trust system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RecommendationRecord:
+    """Recommendation-trust state about one recommender."""
+
+    recommender: str
+    value: float
+    agreements: int = 0
+    disagreements: int = 0
+    history: List[float] = field(default_factory=list)
+
+
+class RecommendationManager:
+    """Maintains ``R^{A,S}`` for every recommender ``S`` seen by owner ``A``."""
+
+    def __init__(
+        self,
+        owner: str,
+        default_value: float = 0.4,
+        reward: float = 0.05,
+        penalty: float = 0.15,
+        minimum: float = 0.0,
+        maximum: float = 1.0,
+    ) -> None:
+        if minimum >= maximum:
+            raise ValueError("minimum must be strictly below maximum")
+        if not minimum <= default_value <= maximum:
+            raise ValueError("default_value must lie within [minimum, maximum]")
+        self.owner = owner
+        self.default_value = default_value
+        self.reward = reward
+        self.penalty = penalty
+        self.minimum = minimum
+        self.maximum = maximum
+        self._records: Dict[str, RecommendationRecord] = {}
+
+    # -------------------------------------------------------------- accessors
+    def record_of(self, recommender: str) -> RecommendationRecord:
+        """Record for ``recommender`` (created at the default value if absent)."""
+        record = self._records.get(recommender)
+        if record is None:
+            record = RecommendationRecord(recommender=recommender, value=self.default_value)
+            self._records[recommender] = record
+        return record
+
+    def recommendation_trust(self, recommender: str) -> float:
+        """Current ``R^{A,S}`` (default when the recommender is unknown)."""
+        record = self._records.get(recommender)
+        return record.value if record else self.default_value
+
+    def set_initial(self, recommender: str, value: float) -> None:
+        """Initialise ``R^{A,S}`` explicitly (used by experiments)."""
+        clamped = max(self.minimum, min(self.maximum, value))
+        self._records[recommender] = RecommendationRecord(recommender=recommender, value=clamped)
+
+    def known_recommenders(self) -> List[str]:
+        """Every recommender with an explicit record."""
+        return sorted(self._records)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of every recommender's current value."""
+        return {name: record.value for name, record in sorted(self._records.items())}
+
+    # ---------------------------------------------------------------- updates
+    def record_agreement(self, recommender: str) -> float:
+        """The recommender's answer matched the final verdict: reward it."""
+        record = self.record_of(recommender)
+        record.value = min(self.maximum, record.value + self.reward)
+        record.agreements += 1
+        record.history.append(record.value)
+        return record.value
+
+    def record_disagreement(self, recommender: str) -> float:
+        """The recommender's answer contradicted the final verdict: penalise it."""
+        record = self.record_of(recommender)
+        record.value = max(self.minimum, record.value - self.penalty)
+        record.disagreements += 1
+        record.history.append(record.value)
+        return record.value
+
+    def record_outcome(self, recommender: str, agreed: Optional[bool]) -> float:
+        """Convenience dispatcher; ``None`` (no answer) leaves the value unchanged."""
+        if agreed is None:
+            return self.recommendation_trust(recommender)
+        if agreed:
+            return self.record_agreement(recommender)
+        return self.record_disagreement(recommender)
+
+    def accuracy_of(self, recommender: str) -> float:
+        """Fraction of past recommendations that agreed with the verdict."""
+        record = self._records.get(recommender)
+        if record is None:
+            return 0.0
+        total = record.agreements + record.disagreements
+        if total == 0:
+            return 0.0
+        return record.agreements / total

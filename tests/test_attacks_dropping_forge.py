@@ -1,0 +1,183 @@
+"""Tests for drop and active-forge attacks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.dropping import BlackholeAttack, GrayholeAttack, SelectiveDropFilter
+from repro.attacks.forge import (
+    BroadcastStormAttack,
+    IdentitySpoofingAttack,
+    TcTamperingAttack,
+    WillingnessManipulationAttack,
+)
+from repro.logs.records import LogCategory
+from repro.olsr.constants import MessageType, Willingness
+from tests.conftest import CHAIN_POSITIONS, make_olsr_network
+
+
+def converged_chain():
+    network, nodes = make_olsr_network(CHAIN_POSITIONS)
+    network.run(until=30.0)
+    return network, nodes
+
+
+# ------------------------------------------------------------------ blackhole
+def test_blackhole_stops_tc_relaying():
+    network, nodes = converged_chain()
+    # B relays A's and C's TC traffic (it is their MPR).  Install a blackhole.
+    attack = BlackholeAttack()
+    attack.install(nodes["B"])
+    before = nodes["B"].stats.messages_forwarded
+    network.run(until=network.now + 40.0)
+    assert nodes["B"].stats.messages_forwarded == before
+    assert attack.dropped_count > 0
+    # The node logs the filtered forwards, which the detector can read (E2).
+    drops = [r for r in nodes["B"].log.by_category(LogCategory.DROP)
+             if r.get("reason") == "forward_filter"]
+    assert drops
+
+
+def test_blackhole_prevents_topology_propagation():
+    network, nodes = converged_chain()
+    BlackholeAttack().install(nodes["B"])
+    BlackholeAttack().install(nodes["C"])
+    network.run(until=network.now + 60.0)
+    # With both relays black-holing, A cannot learn a route to D any more
+    # once the old topology entries expire.
+    assert "D" not in nodes["A"].routing_table.destinations()
+
+
+def test_blackhole_respects_schedule_deactivation():
+    network, nodes = converged_chain()
+    attack = BlackholeAttack()
+    attack.install(nodes["B"])
+    attack.deactivate()
+    forwarded_before = nodes["B"].stats.messages_forwarded
+    network.run(until=network.now + 30.0)
+    assert nodes["B"].stats.messages_forwarded > forwarded_before
+    assert attack.dropped_count == 0
+
+
+# ------------------------------------------------------------------ grayhole
+def test_grayhole_drop_probability_validated():
+    with pytest.raises(ValueError):
+        GrayholeAttack(drop_probability=1.5)
+
+
+def test_grayhole_partial_dropping():
+    network, nodes = converged_chain()
+    attack = GrayholeAttack(drop_probability=0.5, rng=random.Random(3))
+    attack.install(nodes["B"])
+    network.run(until=network.now + 120.0)
+    assert attack.dropped_count > 0
+    assert attack.relayed_count > 0
+    assert 0.2 < attack.observed_drop_ratio < 0.8
+
+
+def test_grayhole_message_type_filter():
+    network, nodes = converged_chain()
+    attack = GrayholeAttack(drop_probability=1.0, message_types={MessageType.MID},
+                            rng=random.Random(3))
+    attack.install(nodes["B"])
+    network.run(until=network.now + 60.0)
+    # Only MID messages would be dropped; none are emitted, so nothing is dropped
+    # and TC relaying continues.
+    assert attack.dropped_count == 0
+    assert nodes["A"].routing_table.distance("D") == 3
+
+
+def test_grayhole_victim_filter_only_drops_victim_traffic():
+    network, nodes = converged_chain()
+    # In the chain, the only flooded traffic B relays originates from C
+    # (C is the MPR of D).  Targeting C drops it; targeting an uninvolved
+    # originator drops nothing and relaying continues.
+    targeting_c = GrayholeAttack(drop_probability=1.0, victim_originators={"C"},
+                                 rng=random.Random(3))
+    targeting_c.install(nodes["B"])
+    network.run(until=network.now + 90.0)
+    assert targeting_c.dropped_count > 0
+
+    network2, nodes2 = converged_chain()
+    targeting_nobody = GrayholeAttack(drop_probability=1.0, victim_originators={"ghost"},
+                                      rng=random.Random(3))
+    targeting_nobody.install(nodes2["B"])
+    network2.run(until=network2.now + 90.0)
+    assert targeting_nobody.dropped_count == 0
+    assert targeting_nobody.relayed_count > 0
+
+
+def test_selective_drop_filter_predicate():
+    network, nodes = converged_chain()
+    attack = SelectiveDropFilter(predicate=lambda message, last_hop: message.originator == "C")
+    attack.install(nodes["B"])
+    network.run(until=network.now + 60.0)
+    assert attack.dropped_count > 0
+
+
+# --------------------------------------------------------------- storm/forge
+def test_broadcast_storm_floods_forged_tc():
+    network, nodes = converged_chain()
+    attack = BroadcastStormAttack(burst_size=5, period=1.0)
+    attack.install(nodes["B"])
+    rx_before = nodes["A"].stats.tc_received
+    network.run(until=network.now + 10.0)
+    assert attack.forged_count >= 40
+    assert nodes["A"].stats.tc_received > rx_before + 20
+
+
+def test_broadcast_storm_parameter_validation():
+    with pytest.raises(ValueError):
+        BroadcastStormAttack(burst_size=0)
+    with pytest.raises(ValueError):
+        BroadcastStormAttack(period=0.0)
+
+
+def test_broadcast_storm_with_spoofed_originator():
+    network, nodes = converged_chain()
+    attack = BroadcastStormAttack(burst_size=3, period=1.0, spoofed_originator="D")
+    attack.install(nodes["B"])
+    network.run(until=network.now + 5.0)
+    forged_from_d = [r for r in nodes["A"].log.by_category(LogCategory.MESSAGE_RX)
+                     if r.event == "TC" and r.get("origin") == "D" and r.get("last_hop") == "B"]
+    assert forged_from_d
+
+
+def test_identity_spoofing_emits_hellos_with_victim_identity():
+    network, nodes = converged_chain()
+    attack = IdentitySpoofingAttack(spoofed_identity="D", period=1.0)
+    attack.install(nodes["B"])
+    network.run(until=network.now + 10.0)
+    assert attack.forged_count > 0
+    spoofed = [r for r in nodes["A"].log.by_category(LogCategory.MESSAGE_RX)
+               if r.event == "HELLO" and r.get("origin") == "D"]
+    # A is not in range of the real D, so any HELLO "from D" is the spoofed one.
+    assert spoofed
+
+
+def test_willingness_manipulation_changes_advertised_willingness():
+    network, nodes = converged_chain()
+    WillingnessManipulationAttack(Willingness.WILL_ALWAYS).install(nodes["C"])
+    network.run(until=network.now + 10.0)
+    hello_from_c = [r for r in nodes["B"].log.by_category(LogCategory.MESSAGE_RX)
+                    if r.event == "HELLO" and r.get("origin") == "C"]
+    assert hello_from_c[-1].get("willingness") == str(int(Willingness.WILL_ALWAYS))
+
+
+def test_tc_tampering_adds_and_removes_advertised_neighbors():
+    network, nodes = converged_chain()
+    TcTamperingAttack(added_neighbors={"ghost"}, removed_neighbors={"A"}).install(nodes["B"])
+    network.run(until=network.now + 30.0)
+    tc_from_b = [r for r in nodes["D"].log.by_category(LogCategory.MESSAGE_RX)
+                 if r.event == "TC" and r.get("origin") == "B"]
+    assert tc_from_b, "D never received a TC from B"
+    advertised = set(tc_from_b[-1].get_list("advertised"))
+    assert "ghost" in advertised
+    assert "A" not in advertised
+
+
+def test_tc_tampering_requires_some_change():
+    with pytest.raises(ValueError):
+        TcTamperingAttack()

@@ -1,0 +1,183 @@
+"""Tests for replay/wormhole attacks, liar behaviour and attack scenarios."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.liar import LiarBehavior, LieMode
+from repro.attacks.link_spoofing import LinkSpoofingAttack
+from repro.attacks.replay import ReplayAttack, SequenceNumberHijackAttack, WormholeAttack
+from repro.attacks.scenario import AttackScenario
+from repro.core.signatures import LinkSpoofingVariant
+from repro.logs.records import LogCategory
+from repro.olsr.constants import MessageType
+from tests.conftest import CHAIN_POSITIONS, make_olsr_network
+
+
+def converged_chain():
+    network, nodes = make_olsr_network(CHAIN_POSITIONS)
+    network.run(until=30.0)
+    return network, nodes
+
+
+# ------------------------------------------------------------------- replay
+def test_replay_attack_reemits_old_tc():
+    network, nodes = converged_chain()
+    attack = ReplayAttack(delay=35.0, message_type=MessageType.TC, max_replays=5)
+    attack.install(nodes["B"])
+    network.run(until=network.now + 60.0)
+    assert attack.replayed_count > 0
+    # Replayed messages surface as duplicates at the receiving neighbours
+    # (their duplicate tuples expire after 30 s, so some may be re-processed;
+    # either way A keeps functioning).
+    assert nodes["A"].routing_table.destinations()
+
+
+def test_replay_delay_validation():
+    with pytest.raises(ValueError):
+        ReplayAttack(delay=0.0)
+
+
+def test_sequence_hijack_rebroadcasts_with_inflated_sequence():
+    network, nodes = converged_chain()
+    attack = SequenceNumberHijackAttack(increment=5000)
+    attack.install(nodes["B"])
+    network.run(until=network.now + 30.0)
+    assert attack.hijacked_count > 0
+
+
+def test_wormhole_tunnels_hellos_between_far_nodes():
+    network, nodes = converged_chain()
+    # A and D are 3 hops apart; a wormhole between B and C tunnels HELLOs, so
+    # A starts hearing D's HELLOs (re-emitted at B) and vice versa.
+    wormhole = WormholeAttack(tunnel_latency=0.01, message_type=MessageType.HELLO)
+    wormhole.install_pair(nodes["B"], nodes["C"])
+    network.run(until=network.now + 30.0)
+    assert wormhole.tunnelled_count > 0
+    assert wormhole.endpoints() == ("B", "C")
+    hello_from_d_at_a = [r for r in nodes["A"].log.by_category(LogCategory.MESSAGE_RX)
+                         if r.event == "HELLO" and r.get("origin") == "D"]
+    assert hello_from_d_at_a
+
+
+def test_wormhole_rejects_third_endpoint():
+    network, nodes = converged_chain()
+    wormhole = WormholeAttack()
+    wormhole.install_pair(nodes["A"], nodes["B"])
+    with pytest.raises(ValueError):
+        wormhole.install(nodes["C"])
+
+
+# --------------------------------------------------------------------- liar
+class FakeDetectorNode:
+    def __init__(self, node_id="liar"):
+        self.node_id = node_id
+        self.answer_mutators = []
+        self.now = 0.0
+
+
+def test_liar_protect_mode_always_confirms():
+    liar = LiarBehavior(protected_suspects={"attacker"}, rng=random.Random(0))
+    node = FakeDetectorNode()
+    liar.install(node)
+    mutator = node.answer_mutators[0]
+    assert mutator("attacker", "victim", False) is True
+    assert mutator("attacker", "victim", None) is True
+    assert liar.lies_told == 2
+
+
+def test_liar_frame_mode_always_denies():
+    liar = LiarBehavior(protected_suspects={"innocent"}, mode=LieMode.FRAME,
+                        rng=random.Random(0))
+    assert liar.answer(True) is False
+    assert liar.answer(None) is False
+
+
+def test_liar_invert_mode():
+    liar = LiarBehavior(mode=LieMode.INVERT, rng=random.Random(0))
+    assert liar.answer(True) is False
+    assert liar.answer(False) is True
+    assert liar.answer(None) is True
+
+
+def test_liar_only_lies_about_protected_suspects():
+    liar = LiarBehavior(protected_suspects={"attacker"}, rng=random.Random(0))
+    node = FakeDetectorNode()
+    liar.install(node)
+    mutator = node.answer_mutators[0]
+    assert mutator("someone-else", "victim", False) is False
+    assert liar.honest_answers == 1
+
+
+def test_liar_lie_probability_zero_is_always_honest():
+    liar = LiarBehavior(lie_probability=0.0, rng=random.Random(0))
+    assert all(liar.answer(False) is False for _ in range(10))
+    assert liar.lies_told == 0
+
+
+def test_liar_suppression():
+    liar = LiarBehavior(suppress_probability=1.0, rng=random.Random(0))
+    assert liar.answer(False) is None
+    assert liar.answers_suppressed == 1
+
+
+def test_liar_deactivation_makes_it_honest():
+    liar = LiarBehavior(rng=random.Random(0))
+    liar.deactivate()
+    assert liar.answer(False) is False
+
+
+def test_liar_parameter_validation_and_describe():
+    with pytest.raises(ValueError):
+        LiarBehavior(lie_probability=1.5)
+    with pytest.raises(ValueError):
+        LiarBehavior(suppress_probability=-0.1)
+    liar = LiarBehavior()
+    description = liar.describe()
+    assert description["mode"] == "protect"
+    with pytest.raises(TypeError):
+        liar.install(object())
+
+
+# ------------------------------------------------------------------ scenario
+def test_scenario_ground_truth_sets():
+    scenario = AttackScenario(name="test")
+    scenario.add("i", LinkSpoofingAttack(LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR, ["ghost"]))
+    scenario.add("l1", LiarBehavior())
+    scenario.add("l2", LiarBehavior())
+    assert scenario.attackers() == {"i"}
+    assert scenario.liars() == {"l1", "l2"}
+    assert scenario.misbehaving() == {"i", "l1", "l2"}
+    assert scenario.link_spoofers() == {"i"}
+    assert scenario.well_behaving({"i", "l1", "l2", "v", "w"}) == {"v", "w"}
+
+
+def test_scenario_install_all_unknown_node_raises():
+    scenario = AttackScenario()
+    scenario.add("ghost", LiarBehavior())
+    with pytest.raises(KeyError):
+        scenario.install_all({})
+
+
+def test_scenario_install_all_and_stop_resume():
+    network, nodes = converged_chain()
+    attack = LinkSpoofingAttack(LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR, ["ghost"])
+    scenario = AttackScenario()
+    scenario.add("B", attack)
+    scenario.install_all(nodes)
+    assert attack.is_active(network.now)
+    scenario.stop_all()
+    assert not attack.is_active(network.now)
+    scenario.resume_all()
+    assert attack.is_active(network.now)
+
+
+def test_scenario_describe_rows():
+    scenario = AttackScenario()
+    scenario.add("i", LinkSpoofingAttack(LinkSpoofingVariant.FALSE_EXISTING_LINK, ["x"]))
+    scenario.add("l", LiarBehavior())
+    rows = scenario.describe()
+    assert len(rows) == 2
+    assert {row["node"] for row in rows} == {"i", "l"}

@@ -1,0 +1,298 @@
+"""Tests for the cooperative investigation (Algorithm 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decision import ANSWER_CONFIRM, ANSWER_DENY, ANSWER_MISSING, DecisionOutcome
+from repro.core.investigation import (
+    CallableTransport,
+    CooperativeInvestigator,
+    NetworkPathTransport,
+    OracleTransport,
+    common_two_hop_neighbors,
+    path_avoiding,
+)
+from repro.trust.manager import TrustManager, TrustParameters
+from repro.trust.recommendation import RecommendationManager
+
+
+class StubResponder:
+    """Responder returning a fixed answer."""
+
+    def __init__(self, answer):
+        self._answer = answer
+        self.queries = []
+
+    def answer_link_query(self, suspect, requester, link_peer=None):
+        self.queries.append((suspect, requester, link_peer))
+        return self._answer
+
+
+def make_investigator(transport, **kwargs) -> CooperativeInvestigator:
+    trust = TrustManager("inv", TrustParameters(minimum=0.05))
+    return CooperativeInvestigator(
+        owner="inv",
+        transport=transport,
+        trust_manager=trust,
+        recommendation_manager=RecommendationManager("inv"),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------- helper functions
+def test_common_two_hop_neighbors_intersection():
+    coverage = {"suspect": {"x", "y", "z"}, "old": {"y", "z", "w"}}
+    common = common_two_hop_neighbors(lambda n: coverage.get(n, set()), "suspect", ["old"])
+    assert common == {"y", "z"}
+
+
+def test_common_two_hop_neighbors_falls_back_to_suspect_coverage():
+    coverage = {"suspect": {"x"}, "old": {"w"}}
+    common = common_two_hop_neighbors(lambda n: coverage.get(n, set()), "suspect", ["old"])
+    assert common == {"x"}
+
+
+def test_common_two_hop_neighbors_no_replaced_mpr():
+    coverage = {"suspect": {"x", "y"}}
+    common = common_two_hop_neighbors(lambda n: coverage.get(n, set()), "suspect", [])
+    assert common == {"x", "y"}
+
+
+def test_common_two_hop_neighbors_excludes_investigator_and_suspect():
+    coverage = {"suspect": {"me", "suspect", "x"}}
+    common = common_two_hop_neighbors(lambda n: coverage.get(n, set()), "suspect", [],
+                                      exclude={"me"})
+    assert common == {"x"}
+
+
+def test_path_avoiding_finds_detour():
+    connectivity = {
+        "a": ["b", "i"],
+        "b": ["a", "c"],
+        "c": ["b", "i"],
+        "i": ["a", "c"],
+    }
+    path = path_avoiding(connectivity, "a", "c", avoid={"i"})
+    assert path == ["a", "b", "c"]
+
+
+def test_path_avoiding_returns_none_when_only_route_is_suspect():
+    connectivity = {"a": ["i"], "i": ["a", "c"], "c": ["i"]}
+    assert path_avoiding(connectivity, "a", "c", avoid={"i"}) is None
+
+
+def test_path_avoiding_same_node():
+    assert path_avoiding({}, "a", "a", avoid=set()) == ["a"]
+
+
+def test_path_avoiding_target_in_avoid_set():
+    assert path_avoiding({"a": ["b"]}, "a", "b", avoid={"b"}) is None
+
+
+# -------------------------------------------------------------- transports
+def test_oracle_transport_queries_responders():
+    transport = OracleTransport({"s1": StubResponder(True), "s2": StubResponder(False)})
+    assert transport.verify_link("inv", "s1", "i") is True
+    assert transport.verify_link("inv", "s2", "i") is False
+    assert transport.verify_link("inv", "ghost", "i") is None
+
+
+def test_oracle_transport_loss():
+    transport = OracleTransport({"s1": StubResponder(True)}, loss_probability=1.0,
+                                rng=random.Random(0))
+    assert transport.verify_link("inv", "s1", "i") is None
+    with pytest.raises(ValueError):
+        OracleTransport({}, loss_probability=2.0)
+
+
+def test_oracle_transport_passes_link_peer():
+    responder = StubResponder(True)
+    transport = OracleTransport({"s1": responder})
+    transport.verify_link("inv", "s1", "i", link_peer="x")
+    assert responder.queries[-1] == ("i", "inv", "x")
+
+
+def test_callable_transport_both_signatures():
+    four_arg = CallableTransport(lambda req, res, sus, peer: True)
+    three_arg = CallableTransport(lambda req, res, sus: False)
+    assert four_arg.verify_link("a", "b", "c", link_peer="d") is True
+    assert three_arg.verify_link("a", "b", "c") is False
+
+
+def test_network_path_transport_avoids_suspect():
+    connectivity = {"inv": ["i"], "i": ["inv", "s1"], "s1": ["i"]}
+    transport = NetworkPathTransport(
+        connectivity_oracle=lambda: connectivity,
+        responders={"s1": StubResponder(False)},
+    )
+    # The only path to s1 goes through the suspect: no answer.
+    assert transport.verify_link("inv", "s1", "i") is None
+
+
+def test_network_path_transport_uses_detour_and_colluder_avoidance():
+    connectivity = {
+        "inv": ["i", "b"],
+        "i": ["inv", "s1"],
+        "b": ["inv", "s1"],
+        "s1": ["i", "b"],
+    }
+    responder = StubResponder(False)
+    transport = NetworkPathTransport(
+        connectivity_oracle=lambda: connectivity,
+        responders={"s1": responder},
+    )
+    assert transport.verify_link("inv", "s1", "i") is False
+    # Now the detour node is a known colluder: unreachable again.
+    transport_colluded = NetworkPathTransport(
+        connectivity_oracle=lambda: connectivity,
+        responders={"s1": responder},
+        colluders={"b"},
+    )
+    assert transport_colluded.verify_link("inv", "s1", "i") is None
+
+
+# ------------------------------------------------------------- investigator
+def test_open_investigation_and_round_all_denials():
+    transport = OracleTransport({f"s{i}": StubResponder(False) for i in range(6)})
+    investigator = make_investigator(transport)
+    investigator.open_investigation("i", [f"s{i}" for i in range(6)])
+    result = investigator.run_round("i", now=0.0)
+    assert result.decision.detect_value == pytest.approx(-1.0)
+    assert set(result.answers.values()) == {ANSWER_DENY}
+    assert result.responders_unreached == []
+
+
+def test_round_records_missing_answers():
+    responders = {"s0": StubResponder(False), "s1": StubResponder(None)}
+    investigator = make_investigator(OracleTransport(responders))
+    investigator.open_investigation("i", ["s0", "s1"])
+    result = investigator.run_round("i")
+    assert result.answers["s1"] == ANSWER_MISSING
+    assert "s1" in result.responders_unreached
+
+
+def test_round_requires_open_investigation():
+    investigator = make_investigator(OracleTransport({}))
+    with pytest.raises(KeyError):
+        investigator.run_round("nobody")
+
+
+def test_open_investigation_merges_responders():
+    investigator = make_investigator(OracleTransport({}))
+    investigator.open_investigation("i", ["a"])
+    state = investigator.open_investigation("i", ["b"])
+    assert state.responders == ["a", "b"]
+
+
+def test_empty_responder_set_marks_unverified():
+    investigator = make_investigator(OracleTransport({}))
+    state = investigator.open_investigation("i", [])
+    assert state.unverified
+
+
+def test_trust_updates_after_round():
+    responders = {f"h{i}": StubResponder(False) for i in range(4)}
+    responders["liar"] = StubResponder(True)
+    investigator = make_investigator(OracleTransport(responders))
+    trust = investigator.trust
+    investigator.open_investigation("i", list(responders))
+    before_liar = trust.trust_of("liar")
+    before_honest = trust.trust_of("h0")
+    before_suspect = trust.trust_of("i")
+    investigator.run_round("i", now=1.0)
+    assert trust.trust_of("liar") < before_liar
+    assert trust.trust_of("h0") >= before_honest
+    assert trust.trust_of("i") < before_suspect
+
+
+def test_recommendation_trust_tracks_agreement():
+    responders = {"h0": StubResponder(False), "h1": StubResponder(False),
+                  "liar": StubResponder(True)}
+    investigator = make_investigator(OracleTransport(responders))
+    investigator.open_investigation("i", list(responders))
+    investigator.run_round("i")
+    recs = investigator.recommendations
+    assert recs.accuracy_of("h0") == 1.0
+    assert recs.accuracy_of("liar") == 0.0
+
+
+def test_repeated_rounds_converge_and_track_trajectory():
+    responders = {f"h{i}": StubResponder(False) for i in range(10)}
+    responders.update({f"l{i}": StubResponder(True) for i in range(4)})
+    investigator = make_investigator(OracleTransport(responders))
+    investigator.open_investigation("i", list(responders))
+    for round_index in range(15):
+        investigator.run_round("i", now=float(round_index))
+    state = investigator.state_of("i")
+    trajectory = state.detect_trajectory
+    assert len(trajectory) == 15
+    assert trajectory[-1] < trajectory[0]
+    assert trajectory[-1] < -0.8
+    assert state.disagreeing == {f"h{i}" for i in range(10)}
+    assert state.agreeing == {f"l{i}" for i in range(4)}
+
+
+def test_close_on_decision_terminates_investigation():
+    responders = {f"s{i}": StubResponder(False) for i in range(8)}
+    investigator = make_investigator(OracleTransport(responders), close_on_decision=True)
+    investigator.open_investigation("i", list(responders))
+    result = investigator.run_round("i")
+    assert result.decision.outcome == DecisionOutcome.INTRUDER
+    state = investigator.state_of("i")
+    assert state.closed
+    assert state.final_outcome == DecisionOutcome.INTRUDER
+    with pytest.raises(RuntimeError):
+        investigator.run_round("i")
+
+
+def test_manual_close_returns_last_outcome():
+    responders = {"s0": StubResponder(False)}
+    investigator = make_investigator(OracleTransport(responders))
+    investigator.open_investigation("i", ["s0"])
+    investigator.run_round("i")
+    outcome = investigator.close("i")
+    assert outcome is not None
+    assert investigator.close("unknown") is None
+    assert "i" not in investigator.open_investigations()
+
+
+def test_contested_link_mode_single_denial_is_damning():
+    class PerLinkResponder:
+        def answer_link_query(self, suspect, requester, link_peer=None):
+            if link_peer == "spoofed":
+                return False
+            if link_peer == "genuine":
+                return True
+            return None
+
+    transport = OracleTransport({"w": PerLinkResponder()})
+    investigator = make_investigator(transport)
+    investigator.open_investigation("i", ["w"], contested_links=["genuine", "spoofed"])
+    result = investigator.run_round("i")
+    assert result.answers["w"] == ANSWER_DENY
+
+
+def test_contested_link_mode_no_knowledge_is_missing():
+    transport = OracleTransport({"w": StubResponder(None)})
+    investigator = make_investigator(transport)
+    investigator.open_investigation("i", ["w"], contested_links=["x"])
+    result = investigator.run_round("i")
+    assert result.answers["w"] == ANSWER_MISSING
+
+
+def test_contested_link_mode_confirm_only_is_confirm():
+    transport = OracleTransport({"w": StubResponder(True)})
+    investigator = make_investigator(transport)
+    investigator.open_investigation("i", ["w"], contested_links=["x", "y"])
+    result = investigator.run_round("i")
+    assert result.answers["w"] == ANSWER_CONFIRM
+
+
+def test_open_investigation_merges_contested_links_and_drops_suspect():
+    investigator = make_investigator(OracleTransport({}))
+    investigator.open_investigation("i", ["a"], contested_links=["x"])
+    state = investigator.open_investigation("i", ["a"], contested_links=["y", "i"])
+    assert state.contested_links == ["x", "y"]

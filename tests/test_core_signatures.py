@@ -1,0 +1,192 @@
+"""Tests for attack signatures and the link-spoofing expressions."""
+
+from __future__ import annotations
+
+from repro.core.signatures import (
+    EventPattern,
+    LinkSpoofingVariant,
+    Signature,
+    SignatureMatcher,
+    broadcast_storm_signature,
+    evaluate_expression_1,
+    evaluate_expression_2,
+    evaluate_expression_3,
+    evaluate_link_spoofing,
+    link_spoofing_event_signature,
+)
+from repro.logs.analyzer import DetectionEvent, DetectionEventType
+
+
+def event(event_type: DetectionEventType, time: float = 0.0, subject: str = "s") -> DetectionEvent:
+    return DetectionEvent(time=time, node="me", event_type=event_type, subject=subject)
+
+
+# ----------------------------------------------------------- generic matcher
+def test_signature_matches_in_order():
+    signature = Signature(
+        name="two-step",
+        steps=[
+            EventPattern("first", lambda e: e.event_type == DetectionEventType.NEIGHBOR_APPEARED),
+            EventPattern("second", lambda e: e.event_type == DetectionEventType.MPR_REPLACED),
+        ],
+    )
+    events = [
+        event(DetectionEventType.NEIGHBOR_APPEARED, 1.0),
+        event(DetectionEventType.MPR_REPLACED, 2.0),
+    ]
+    match = signature.match(events)
+    assert match.complete
+    assert match.matched_steps == ["first", "second"]
+    assert match.completion_ratio == 1.0
+
+
+def test_signature_out_of_order_is_partial():
+    signature = Signature(
+        name="two-step",
+        steps=[
+            EventPattern("first", lambda e: e.event_type == DetectionEventType.MPR_REPLACED),
+            EventPattern("second", lambda e: e.event_type == DetectionEventType.NEIGHBOR_APPEARED),
+        ],
+    )
+    events = [
+        event(DetectionEventType.NEIGHBOR_APPEARED, 1.0),
+        event(DetectionEventType.MPR_REPLACED, 2.0),
+    ]
+    match = signature.match(events)
+    assert not match.complete
+    assert "second" in match.missing_steps
+    assert 0.0 < match.completion_ratio < 1.0
+
+
+def test_optional_steps_do_not_block():
+    signature = link_spoofing_event_signature()
+    events = [event(DetectionEventType.MPR_REPLACED, 1.0)]
+    match = signature.match(events)
+    assert match.complete
+
+
+def test_link_spoofing_signature_with_advertisement_change():
+    signature = link_spoofing_event_signature()
+    events = [
+        event(DetectionEventType.ADVERTISEMENT_CHANGED, 1.0),
+        event(DetectionEventType.MPR_MISBEHAVIOR, 2.0),
+    ]
+    match = signature.match(events)
+    assert match.complete
+    assert "advertisement-change" in match.matched_steps
+
+
+def test_link_spoofing_signature_missing_trigger_incomplete():
+    signature = link_spoofing_event_signature()
+    events = [event(DetectionEventType.ADVERTISEMENT_CHANGED, 1.0)]
+    assert not signature.match(events).complete
+
+
+def test_irrelevant_events_interleaved_are_ignored():
+    signature = link_spoofing_event_signature()
+    events = [
+        event(DetectionEventType.NEIGHBOR_APPEARED, 0.5),
+        event(DetectionEventType.ADVERTISEMENT_CHANGED, 1.0),
+        event(DetectionEventType.LINK_INSTABILITY, 1.5),
+        event(DetectionEventType.MPR_REPLACED, 2.0),
+    ]
+    assert signature.match(events).complete
+
+
+def test_matcher_matches_all_and_filters_complete():
+    matcher = SignatureMatcher([link_spoofing_event_signature(), broadcast_storm_signature(3)])
+    events = [event(DetectionEventType.MPR_REPLACED, 1.0)]
+    results = matcher.match_all(events)
+    assert len(results) == 2
+    complete = matcher.complete_matches(events)
+    assert [m.signature_name for m in complete] == ["link-spoofing-preliminary"]
+
+
+def test_broadcast_storm_signature_needs_threshold():
+    matcher = SignatureMatcher([broadcast_storm_signature(threshold=3)])
+    events = [event(DetectionEventType.ADVERTISEMENT_CHANGED, float(i)) for i in range(3)]
+    assert matcher.complete_matches(events)
+
+
+def test_matcher_add_signature():
+    matcher = SignatureMatcher()
+    assert matcher.match_all([]) == []
+    matcher.add(link_spoofing_event_signature())
+    assert len(matcher.signatures) == 1
+
+
+# ----------------------------------------------------- spoofing expressions
+NETWORK = {"i", "s", "a", "b", "c"}
+
+
+def test_expression_1_detects_phantom_node():
+    indicator = evaluate_expression_1("i", {"a", "ghost"}, NETWORK)
+    assert indicator is not None
+    assert indicator.variant == LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR
+    assert indicator.offending_addresses == frozenset({"ghost"})
+    assert "ghost" in indicator.describe()
+
+
+def test_expression_1_no_phantom_returns_none():
+    assert evaluate_expression_1("i", {"a", "b"}, NETWORK) is None
+
+
+def test_expression_2_detects_false_existing_link():
+    indicator = evaluate_expression_2("i", {"a", "b"}, actual_neighbors_of_suspect={"a"},
+                                      known_network_nodes=NETWORK)
+    assert indicator is not None
+    assert indicator.variant == LinkSpoofingVariant.FALSE_EXISTING_LINK
+    assert indicator.offending_addresses == frozenset({"b"})
+
+
+def test_expression_2_ignores_phantom_addresses():
+    # A phantom address is expression 1 material, not expression 2.
+    indicator = evaluate_expression_2("i", {"ghost"}, actual_neighbors_of_suspect=set(),
+                                      known_network_nodes=NETWORK)
+    assert indicator is None
+
+
+def test_expression_3_detects_omitted_neighbor():
+    indicator = evaluate_expression_3("i", {"a"}, actual_neighbors_of_suspect={"a", "b"})
+    assert indicator is not None
+    assert indicator.variant == LinkSpoofingVariant.OMITTED_NEIGHBOR
+    assert indicator.offending_addresses == frozenset({"b"})
+
+
+def test_expression_3_no_omission_returns_none():
+    assert evaluate_expression_3("i", {"a", "b"}, {"a", "b"}) is None
+
+
+def test_evaluate_link_spoofing_all_variants_at_once():
+    indicators = evaluate_link_spoofing(
+        suspect="i",
+        advertised_symmetric={"a", "ghost"},      # claims a (false) + ghost (phantom)
+        actual_neighbors_of_suspect={"b"},        # omits b
+        known_network_nodes=NETWORK,
+    )
+    variants = {ind.variant for ind in indicators}
+    assert variants == {
+        LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR,
+        LinkSpoofingVariant.FALSE_EXISTING_LINK,
+        LinkSpoofingVariant.OMITTED_NEIGHBOR,
+    }
+
+
+def test_evaluate_link_spoofing_without_ground_truth_limits_to_expression1():
+    indicators = evaluate_link_spoofing(
+        suspect="i",
+        advertised_symmetric={"ghost"},
+        known_network_nodes=NETWORK,
+    )
+    assert len(indicators) == 1
+    assert indicators[0].variant == LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR
+
+
+def test_honest_advertisement_raises_no_indicator():
+    indicators = evaluate_link_spoofing(
+        suspect="i",
+        advertised_symmetric={"a", "b"},
+        actual_neighbors_of_suspect={"a", "b"},
+        known_network_nodes=NETWORK,
+    )
+    assert indicators == []

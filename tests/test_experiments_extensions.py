@@ -1,0 +1,129 @@
+"""Tests for the extension experiments: mobility study, gravity ablation,
+and the offline log-replay analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline import analyze_log_store, analyze_log_text
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.gravity_ablation import run_gravity_ablation
+from repro.experiments.mobility import run_mobility_study
+from repro.experiments.scenario import build_canonical_scenario
+from repro.logs.records import LogCategory
+from repro.logs.store import LogStore
+
+
+# ----------------------------------------------------------------- mobility
+@pytest.fixture(scope="module")
+def mobility_study():
+    return run_mobility_study(speeds=(0.0, 8.0), node_count=12, liar_count=2,
+                              cycles=5, seed=23)
+
+
+def test_mobility_study_one_row_per_speed(mobility_study):
+    rows = mobility_study.as_rows()
+    assert [row["max_speed_m_s"] for row in rows] == [0.0, 8.0]
+    for row in rows:
+        assert 0.0 <= row["missing_answer_ratio"] <= 1.0
+        assert 0.0 <= row["unreached_ratio"] <= 1.0
+
+
+def test_mobility_static_network_detects_the_attacker(mobility_study):
+    static = mobility_study.runs[0]
+    assert static.attacker_investigated
+    assert static.final_detect is not None
+    assert static.final_detect < 0.0
+    assert static.final_attacker_trust < 0.4
+
+
+def test_mobility_ratios_well_formed(mobility_study):
+    for run in mobility_study.runs:
+        # Unreached responders are a subset of the missing answers.
+        assert run.unreached_ratio <= run.missing_answer_ratio + 1e-9
+
+
+# ----------------------------------------------------------------- gravity
+@pytest.fixture(scope="module")
+def gravity():
+    return run_gravity_ablation(harmful_alphas=(0.02, 0.08, 0.16),
+                                base_config=ScenarioConfig(seed=7, rounds=15))
+
+
+def test_gravity_ablation_rows(gravity):
+    rows = gravity.as_rows()
+    assert len(rows) == 3
+    assert [row["alpha_harmful"] for row in rows] == [0.02, 0.08, 0.16]
+    assert all(row["asymmetry"] == pytest.approx(row["alpha_harmful"] / 0.04)
+               for row in rows)
+
+
+def test_gravity_more_asymmetry_punishes_liars_harder(gravity):
+    assert gravity.liar_punishment_increases_with_asymmetry()
+    first, last = gravity.rows[0], gravity.rows[-1]
+    assert last.mean_final_liar_trust <= first.mean_final_liar_trust
+
+
+def test_gravity_detection_still_converges_for_all_settings(gravity):
+    for row in gravity.rows:
+        assert row.final_detect < -0.5
+
+
+def test_gravity_honest_collateral_is_bounded(gravity):
+    for row in gravity.rows:
+        assert row.honest_collateral < 0.2
+
+
+# ----------------------------------------------------------------- offline
+def _store_with_replacement() -> LogStore:
+    store = LogStore("victim")
+    store.log(1.0, LogCategory.MPR, "MPR_SET_CHANGED", mprs=["relay"], previous=[])
+    store.log(2.0, LogCategory.MESSAGE_RX, "HELLO", origin="relay",
+              sym_neighbors=["edge1", "edge2"])
+    store.log(10.0, LogCategory.MPR, "MPR_SET_CHANGED", mprs=["attacker"],
+              previous=["relay"])
+    return store
+
+
+def test_offline_analysis_from_store_finds_trigger():
+    report = analyze_log_store(_store_with_replacement())
+    assert report.records_parsed == 3
+    assert report.suspects == ["attacker"]
+    assert "link-spoofing-preliminary" in report.matched_signatures
+    rows = report.as_rows()
+    assert rows[0]["suspect"] == "attacker"
+    assert rows[0]["evidence_count"] >= 1
+    assert "E1" in report.evidence_summary()["attacker"]
+
+
+def test_offline_analysis_from_text_roundtrip():
+    text = _store_with_replacement().dump_text()
+    report = analyze_log_text("victim", text)
+    assert report.suspects == ["attacker"]
+    assert report.records_parsed == 3
+
+
+def test_offline_analysis_skips_malformed_lines():
+    text = _store_with_replacement().dump_text() + "\nthis is not a log line\n"
+    report = analyze_log_text("victim", text)
+    assert report.records_parsed == 3
+    assert report.suspects == ["attacker"]
+
+
+def test_offline_analysis_clean_log_produces_no_suspect():
+    store = LogStore("victim")
+    store.log(1.0, LogCategory.MESSAGE_RX, "HELLO", origin="relay", sym_neighbors=["a"])
+    store.log(2.0, LogCategory.ROUTE, "TABLE_RECOMPUTED", size=3)
+    report = analyze_log_store(store)
+    assert report.suspects == []
+    assert report.as_rows() == []
+
+
+def test_offline_analysis_of_simulated_victim_log():
+    # Replay the canonical scenario's victim log offline: the attacker must be
+    # identified as a suspect from the captured text alone.
+    scenario = build_canonical_scenario(seed=11, attack_start=40.0)
+    scenario.warm_up(80.0)
+    text = scenario.victim.log.dump_text()
+    report = analyze_log_text("victim", text)
+    assert "attacker" in report.suspects

@@ -1,0 +1,152 @@
+"""Tests for the figure-reproduction experiments (paper Figures 1–3).
+
+These tests assert the *qualitative shapes* the paper reports, not absolute
+numbers (our substrate is a simulator, not the authors' testbed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig, figure3_configs
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_figure1()
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2()
+
+
+@pytest.fixture(scope="module")
+def figure3():
+    return run_figure3()
+
+
+# ------------------------------------------------------------------ Figure 1
+def test_figure1_liars_lose_trust_regardless_of_initial_value(figure1):
+    report = figure1.trajectory_report()
+    assert report.liars_all_decreasing()
+    for liar in figure1.liars:
+        assert figure1.trajectories[liar][-1] < 0.15
+
+
+def test_figure1_honest_nodes_never_lose_trust(figure1):
+    report = figure1.trajectory_report()
+    assert report.honest_all_non_decreasing()
+
+
+def test_figure1_honest_low_trust_nodes_gain_only_moderately(figure1):
+    # "the well-behaving nodes which have low initial trust values gain a
+    # little of trustworthiness during the 25 rounds"
+    for node in figure1.honest:
+        initial = figure1.experiment.initial_trust[node]
+        final = figure1.trajectories[node][-1]
+        if initial < 0.3:
+            assert final - initial < 0.55
+
+
+def test_figure1_clear_separation_between_groups(figure1):
+    report = figure1.trajectory_report()
+    assert report.final_separation() > 0.3
+
+
+def test_figure1_attacker_trust_collapses(figure1):
+    assert figure1.trajectories[figure1.attacker][-1] < 0.1
+
+
+def test_figure1_rows_structure(figure1):
+    rows = figure1.rows()
+    assert len(rows) == 15  # 14 responders + attacker
+    roles = {row["role"] for row in rows}
+    assert roles == {"attacker", "liar", "honest"}
+    for row in rows:
+        assert row["final_trust"] is not None
+
+
+def test_figure1_forces_persistent_attack():
+    result = run_figure1(ScenarioConfig(seed=9, rounds=10, attack_stop_round=3))
+    # attack_stop_round is overridden to None for Figure 1.
+    assert all(record.attack_active for record in result.experiment.rounds)
+
+
+# ------------------------------------------------------------------ Figure 2
+def test_figure2_honest_nodes_return_to_default(figure2):
+    gaps = figure2.recovery_gaps()
+    for node in figure2.experiment.honest_responders:
+        assert abs(gaps[node]) < 0.1
+
+
+def test_figure2_former_liars_recover_slowly_and_stay_below_default(figure2):
+    gaps = figure2.recovery_gaps()
+    honest_gap = max(abs(gaps[n]) for n in figure2.experiment.honest_responders)
+    for liar in figure2.experiment.liars:
+        assert gaps[liar] > 0.05
+        assert gaps[liar] > honest_gap
+        # Former liars recover monotonically (no new misconduct) after the stop.
+        post = figure2.post_attack_trajectory(liar)
+        assert post[-1] >= post[0]
+
+
+def test_figure2_rows_report_gap_to_default(figure2):
+    rows = figure2.rows()
+    by_node = {row["node"]: row for row in rows}
+    liar = next(iter(figure2.experiment.liars))
+    honest = next(iter(figure2.experiment.honest_responders))
+    assert by_node[liar]["gap_to_default"] > by_node[honest]["gap_to_default"]
+
+
+def test_figure2_default_cutover_added_when_missing():
+    result = run_figure2(ScenarioConfig(seed=9, rounds=20))
+    assert result.attack_stop_round > 0
+
+
+# ------------------------------------------------------------------ Figure 3
+def test_figure3_more_liars_slow_down_convergence(figure3):
+    convergence = figure3.convergence_rounds(threshold=-0.4)
+    low, mid, high = convergence["6.7%"], convergence["26.3%"], convergence["43.2%"]
+    assert low is not None and mid is not None and high is not None
+    assert low <= mid <= high
+
+
+def test_figure3_detection_converges_below_minus_04_by_round_10(figure3):
+    # "after 10 rounds, the result of the investigation falls down to −0.4
+    # even when liars represent 43.2% of the nodes"
+    for label, series in figure3.detect_series().items():
+        assert series[10] <= -0.4, f"{label} still at {series[10]} at round 10"
+
+
+def test_figure3_final_value_strongly_negative_for_all_ratios(figure3):
+    # "in the last rounds, the investigation converges and reaches −0.8
+    # regardless of the percentage of liars"
+    for label, value in figure3.final_values().items():
+        assert value <= -0.75, f"{label} ended at {value}"
+
+
+def test_figure3_early_rounds_ordered_by_liar_ratio(figure3):
+    series = figure3.detect_series()
+    assert series["6.7%"][0] < series["26.3%"][0] < series["43.2%"][0]
+
+
+def test_figure3_rows_structure(figure3):
+    rows = figure3.rows()
+    assert len(rows) == 3
+    assert [row["liar_ratio"] for row in rows] == ["6.7%", "26.3%", "43.2%"]
+    assert all(row["final_detect"] < -0.7 for row in rows)
+
+
+def test_figure3_custom_sweep():
+    configs = {
+        "0%": ScenarioConfig(seed=2, liar_count=0, rounds=5),
+        "50%": ScenarioConfig(seed=2, liar_count=7, rounds=5),
+    }
+    result = run_figure3(configs)
+    series = result.detect_series()
+    assert series["0%"][0] == pytest.approx(-1.0)
+    assert series["50%"][0] > series["0%"][0]

@@ -1,0 +1,92 @@
+"""Integration tests for the random MANET scenario builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import build_manet_scenario
+
+
+@pytest.fixture(scope="module")
+def manet():
+    scenario = build_manet_scenario(node_count=16, liar_count=4, seed=23)
+    scenario.warm_up(35.0)
+    scenario.victim.detection_round()  # absorb convergence-era triggers
+    results = []
+    for _ in range(10):
+        results.extend(scenario.run_detection_cycle(10.0))
+    return scenario, results
+
+
+def test_scenario_population(manet):
+    scenario, _ = manet
+    assert len(scenario.nodes) == 16
+    assert len(scenario.liar_ids) == 4
+    assert scenario.attacker_id not in scenario.liar_ids
+    assert scenario.victim_id != scenario.attacker_id
+    assert scenario.attack_scenario.link_spoofers() == {scenario.attacker_id}
+    assert scenario.attack_scenario.liars() == scenario.liar_ids
+
+
+def test_victim_is_attacker_neighbor(manet):
+    scenario, _ = manet
+    assert scenario.attacker_id in scenario.victim.olsr.symmetric_neighbors()
+
+
+def test_olsr_converged_before_attack(manet):
+    scenario, _ = manet
+    # The victim and attacker sit in the connected core and must know routes
+    # to most of the network (random placement can leave a few stragglers on
+    # the fringe, so we do not require full convergence of every node).
+    assert len(scenario.victim.olsr.routing_table) >= 8
+    assert len(scenario.attacker.olsr.routing_table) >= 5
+    reachable_counts = [len(n.olsr.routing_table) for n in scenario.nodes.values()]
+    assert sum(reachable_counts) / len(reachable_counts) >= 5
+
+
+def test_attacker_is_investigated(manet):
+    scenario, results = manet
+    suspects = {r.suspect for r in results}
+    assert scenario.attacker_id in suspects
+
+
+def test_detection_trends_negative_despite_liars(manet):
+    scenario, results = manet
+    trajectory = [r.decision.detect_value for r in results
+                  if r.suspect == scenario.attacker_id]
+    assert trajectory, "attacker never investigated"
+    assert trajectory[-1] < -0.5
+    assert trajectory[-1] <= trajectory[0]
+
+
+def test_attacker_trust_drops_below_honest_nodes(manet):
+    scenario, results = manet
+    victim = scenario.victim
+    attacker_trust = victim.trust.trust_of(scenario.attacker_id)
+    assert attacker_trust < 0.1
+    honest = [
+        nid for nid in scenario.nodes
+        if nid not in scenario.liar_ids
+        and nid not in (scenario.attacker_id, scenario.victim_id)
+    ]
+    mean_honest = sum(victim.trust.trust_of(n) for n in honest) / len(honest)
+    assert mean_honest > attacker_trust + 0.2
+
+
+def test_responding_liars_lose_trust(manet):
+    scenario, results = manet
+    victim = scenario.victim
+    attacker_rounds = [r for r in results if r.suspect == scenario.attacker_id]
+    queried = set()
+    for r in attacker_rounds:
+        queried |= set(r.answers)
+    responding_liars = queried & scenario.liar_ids
+    for liar in responding_liars:
+        assert victim.trust.trust_of(liar) < 0.2
+
+
+def test_build_validation():
+    with pytest.raises(ValueError):
+        build_manet_scenario(node_count=3)
+    with pytest.raises(ValueError):
+        build_manet_scenario(node_count=8, liar_count=7)

@@ -1,0 +1,73 @@
+"""Tests for the plain-text report helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    format_series,
+    format_table,
+    format_trajectories,
+    render_report,
+    sparkline,
+)
+
+
+def test_format_table_basic_layout():
+    rows = [
+        {"node": "n1", "trust": 0.41234, "role": "honest"},
+        {"node": "n2", "trust": 0.05, "role": "liar"},
+    ]
+    text = format_table(rows, title="Trust")
+    lines = text.splitlines()
+    assert lines[0] == "Trust"
+    assert "node" in lines[1] and "trust" in lines[1] and "role" in lines[1]
+    assert "0.4123" in text
+    assert "liar" in text
+
+
+def test_format_table_handles_none_and_empty():
+    assert "(no data)" in format_table([], title="Empty")
+    text = format_table([{"a": None, "b": 1}])
+    assert "-" in text
+
+
+def test_format_table_alignment_consistent_width():
+    rows = [{"col": "short"}, {"col": "a-much-longer-value"}]
+    text = format_table(rows)
+    data_lines = text.splitlines()[2:]
+    assert len({len(line) for line in data_lines}) == 1
+
+
+def test_format_series():
+    text = format_series({"26.3%": [0.1, -0.5], "6.7%": [-0.9, -1.0]}, title="Detect")
+    lines = text.splitlines()
+    assert lines[0] == "Detect"
+    assert any("+0.10" in line for line in lines)
+    assert any("-1.00" in line for line in lines)
+    assert "(no series)" in format_series({}, title="x")
+
+
+def test_sparkline_length_and_extremes():
+    values = [0.0, 0.5, 1.0]
+    line = sparkline(values, low=0.0, high=1.0)
+    assert len(line) == 3
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+    assert sparkline([]) == ""
+    assert sparkline([0.5, 0.5], low=0.5, high=0.5) == "▁▁"
+
+
+def test_format_trajectories():
+    text = format_trajectories(
+        {"liar": [0.7, 0.3, 0.05], "honest": [0.3, 0.4, 0.5]},
+        roles={"liar": "liar", "honest": "honest"},
+        title="Figure 1",
+    )
+    assert text.splitlines()[0] == "Figure 1"
+    assert "0.70->0.05" in text
+    assert "honest" in text
+    assert "(no trajectories)" in format_trajectories({})
+
+
+def test_render_report_joins_sections():
+    report = render_report(["section A", "", "section B"])
+    assert report == "section A\n\nsection B"

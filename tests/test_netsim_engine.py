@@ -1,0 +1,205 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "late")
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(3.0, seen.append, "last")
+    sim.run()
+    assert seen == ["early", "late", "last"]
+
+
+def test_simultaneous_events_run_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(5.0, seen.append, "b")
+    sim.run(until=2.0)
+    assert seen == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "cancelled")
+    sim.schedule(2.0, seen.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert seen == ["kept"]
+    assert handle.cancelled
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    assert sim.step() is True
+    assert seen == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert seen == ["a", "b"]
+
+
+def test_stop_interrupts_run():
+    sim = Simulator()
+    seen = []
+
+    def stopper():
+        seen.append("stop")
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, seen.append, "never")
+    sim.run()
+    assert seen == ["stop"]
+    assert sim.pending_events == 1
+
+
+def test_periodic_schedule_repeats():
+    sim = Simulator()
+    ticks = []
+    sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_periodic_schedule_with_start_delay():
+    sim = Simulator()
+    ticks = []
+    sim.schedule_periodic(2.0, lambda: ticks.append(sim.now), start_delay=0.5)
+    sim.run(until=6.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_periodic_cancel_stops_future_occurrences():
+    sim = Simulator()
+    ticks = []
+    handle = sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=2.5)
+    handle.cancel()
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_periodic_with_jitter_requires_rng():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(1.0, lambda: None, jitter=0.2)
+
+
+def test_periodic_with_jitter_fires_no_later_than_interval():
+    sim = Simulator()
+    ticks = []
+    sim.schedule_periodic(1.0, lambda: ticks.append(sim.now),
+                          jitter=0.25, rng=random.Random(3))
+    sim.run(until=10.0)
+    assert len(ticks) >= 10
+    gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+    assert all(0.74 <= gap <= 1.0 + 1e-9 for gap in gaps)
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek_next_time() == 2.0
+
+
+def test_peek_next_time_empty_queue():
+    sim = Simulator()
+    assert sim.peek_next_time() is None
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(float(i), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_drain_returns_pending_events_without_running():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    drained = list(sim.drain())
+    assert len(drained) == 2
+    assert sim.pending_events == 0
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth: int):
+        seen.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 4.0

@@ -1,0 +1,246 @@
+"""Tests for the wireless medium: propagation, loss, collisions, delivery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.medium import (
+    AsymmetricRangePropagation,
+    BernoulliLossModel,
+    CollisionModel,
+    CompositeLossModel,
+    DistanceLossModel,
+    PerfectChannel,
+    UnitDiskPropagation,
+    WirelessMedium,
+    distance,
+)
+from repro.netsim.packet import BROADCAST_ADDRESS, Frame
+
+
+class Sink:
+    """Records received frames."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, frame, now):
+        self.received.append((frame, now))
+
+
+def build_medium(positions, propagation=None, loss_model=None, collision_model=None):
+    sim = Simulator()
+    medium = WirelessMedium(
+        sim,
+        propagation=propagation or UnitDiskPropagation(radio_range=250.0),
+        loss_model=loss_model or PerfectChannel(),
+        collision_model=collision_model,
+    )
+    medium.bind_position_oracle(lambda nid: positions[nid])
+    sinks = {}
+    for node_id in positions:
+        sink = Sink()
+        medium.register(node_id, sink)
+        sinks[node_id] = sink
+    return sim, medium, sinks
+
+
+def test_distance_euclidean():
+    assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+
+def test_unit_disk_in_range_boundary():
+    model = UnitDiskPropagation(radio_range=100.0)
+    assert model.in_range((0, 0), (100, 0))
+    assert not model.in_range((0, 0), (100.1, 0))
+
+
+def test_broadcast_reaches_only_nodes_in_range():
+    positions = {"a": (0, 0), "b": (200, 0), "c": (600, 0)}
+    sim, medium, sinks = build_medium(positions)
+    medium.transmit(Frame(source="a", destination=BROADCAST_ADDRESS, payload="x"))
+    sim.run()
+    assert len(sinks["b"].received) == 1
+    assert len(sinks["c"].received) == 0
+    assert medium.stats.frames_out_of_range == 1
+
+
+def test_unicast_only_reaches_destination():
+    positions = {"a": (0, 0), "b": (100, 0), "c": (150, 0)}
+    sim, medium, sinks = build_medium(positions)
+    medium.transmit(Frame(source="a", destination="b", payload="x"))
+    sim.run()
+    assert len(sinks["b"].received) == 1
+    assert len(sinks["c"].received) == 0
+
+
+def test_unicast_to_unknown_destination_counts_unroutable():
+    positions = {"a": (0, 0)}
+    sim, medium, sinks = build_medium(positions)
+    medium.transmit(Frame(source="a", destination="ghost", payload="x"))
+    sim.run()
+    assert medium.stats.frames_unroutable == 1
+
+
+def test_transmit_from_unknown_source_rejected():
+    positions = {"a": (0, 0)}
+    sim, medium, _ = build_medium(positions)
+    with pytest.raises(ValueError):
+        medium.transmit(Frame(source="ghost", destination=BROADCAST_ADDRESS, payload="x"))
+
+
+def test_sender_never_receives_its_own_broadcast():
+    positions = {"a": (0, 0), "b": (50, 0)}
+    sim, medium, sinks = build_medium(positions)
+    medium.transmit(Frame(source="a", destination=BROADCAST_ADDRESS, payload="x"))
+    sim.run()
+    assert len(sinks["a"].received) == 0
+    assert len(sinks["b"].received) == 1
+
+
+def test_delivery_applies_propagation_delay():
+    positions = {"a": (0, 0), "b": (50, 0)}
+    sim, medium, sinks = build_medium(positions)
+    medium.propagation_delay = 0.01
+    medium.transmit(Frame(source="a", destination="b", payload="x"))
+    sim.run()
+    _, received_at = sinks["b"].received[0]
+    assert received_at == pytest.approx(0.01)
+
+
+def test_bernoulli_loss_all_or_nothing():
+    positions = {"a": (0, 0), "b": (50, 0)}
+    sim, medium, sinks = build_medium(
+        positions, loss_model=BernoulliLossModel(1.0, rng=random.Random(0)))
+    for _ in range(10):
+        medium.transmit(Frame(source="a", destination="b", payload="x"))
+    sim.run()
+    assert len(sinks["b"].received) == 0
+    assert medium.stats.frames_lost == 10
+
+
+def test_bernoulli_loss_probability_validated():
+    with pytest.raises(ValueError):
+        BernoulliLossModel(1.5)
+
+
+def test_bernoulli_loss_statistical_behaviour():
+    model = BernoulliLossModel(0.3, rng=random.Random(42))
+    losses = sum(model.is_lost(Frame("a", "b", None), (0, 0), (1, 1)) for _ in range(5000))
+    assert 0.25 < losses / 5000 < 0.35
+
+
+def test_distance_loss_increases_with_distance():
+    model = DistanceLossModel(radio_range=100.0, max_loss=0.8, reliable_fraction=0.5)
+    assert model.loss_probability(40.0) == 0.0
+    assert model.loss_probability(60.0) < model.loss_probability(90.0)
+    assert model.loss_probability(100.0) == pytest.approx(0.8)
+
+
+def test_composite_loss_any_model_loses():
+    always = BernoulliLossModel(1.0, rng=random.Random(0))
+    never = PerfectChannel()
+    composite = CompositeLossModel(models=[never, always])
+    assert composite.is_lost(Frame("a", "b", None), (0, 0), (1, 1))
+
+
+def test_collision_model_airtime():
+    model = CollisionModel(bitrate_bps=1_000_000)
+    frame = Frame("a", "b", None, size_bytes=125)
+    assert model.airtime(frame) == pytest.approx(0.001)
+
+
+def test_collisions_drop_overlapping_frames():
+    positions = {"a": (0, 0), "b": (10, 0), "r": (5, 5)}
+    sim, medium, sinks = build_medium(
+        positions, collision_model=CollisionModel(bitrate_bps=1_000))
+    # Two large frames sent at the same instant overlap at the receiver.
+    medium.transmit(Frame(source="a", destination=BROADCAST_ADDRESS, payload="x", size_bytes=500))
+    medium.transmit(Frame(source="b", destination=BROADCAST_ADDRESS, payload="y", size_bytes=500))
+    sim.run()
+    assert medium.stats.frames_collided >= 1
+
+
+def test_no_collision_when_transmissions_are_spaced():
+    positions = {"a": (0, 0), "r": (5, 5)}
+    sim, medium, sinks = build_medium(
+        positions, collision_model=CollisionModel(bitrate_bps=1_000_000))
+    medium.transmit(Frame(source="a", destination=BROADCAST_ADDRESS, payload="x"))
+    sim.run()
+    sim.schedule(1.0, lambda: medium.transmit(
+        Frame(source="a", destination=BROADCAST_ADDRESS, payload="y")))
+    sim.run()
+    assert medium.stats.frames_collided == 0
+    assert len(sinks["r"].received) == 2
+
+
+def test_neighbors_of_uses_current_positions():
+    positions = {"a": (0, 0), "b": (200, 0), "c": (600, 0)}
+    sim, medium, _ = build_medium(positions)
+    assert medium.neighbors_of("a") == ["b"]
+    positions["c"] = (100, 0)
+    assert set(medium.neighbors_of("a")) == {"b", "c"}
+
+
+def test_connectivity_matrix_symmetric_for_unit_disk():
+    positions = {"a": (0, 0), "b": (200, 0), "c": (400, 0)}
+    _, medium, _ = build_medium(positions)
+    matrix = medium.connectivity_matrix()
+    assert matrix["a"] == ["b"]
+    assert set(matrix["b"]) == {"a", "c"}
+    assert matrix["c"] == ["b"]
+
+
+def test_asymmetric_propagation_creates_one_way_links():
+    prop = AsymmetricRangePropagation(default_range=250.0)
+    prop.register("weak", 100.0)
+    positions = {"weak": (0, 0), "strong": (200, 0)}
+    sim, medium, sinks = build_medium(positions, propagation=prop)
+    # strong -> weak reaches (default 250 range); weak -> strong does not.
+    medium.transmit(Frame(source="strong", destination=BROADCAST_ADDRESS, payload="x"))
+    medium.transmit(Frame(source="weak", destination=BROADCAST_ADDRESS, payload="y"))
+    sim.run()
+    assert len(sinks["weak"].received) == 1
+    assert len(sinks["strong"].received) == 0
+
+
+def test_unregister_stops_delivery():
+    positions = {"a": (0, 0), "b": (50, 0)}
+    sim, medium, sinks = build_medium(positions)
+    medium.unregister("b")
+    medium.transmit(Frame(source="a", destination=BROADCAST_ADDRESS, payload="x"))
+    sim.run()
+    assert len(sinks["b"].received) == 0
+
+
+def test_duplicate_registration_rejected():
+    positions = {"a": (0, 0)}
+    _, medium, _ = build_medium(positions)
+    with pytest.raises(ValueError):
+        medium.register("a", Sink())
+
+
+def test_stats_delivery_and_loss_ratios():
+    positions = {"a": (0, 0), "b": (50, 0)}
+    sim, medium, _ = build_medium(
+        positions, loss_model=BernoulliLossModel(0.5, rng=random.Random(7)))
+    for _ in range(200):
+        medium.transmit(Frame(source="a", destination="b", payload="x"))
+    sim.run()
+    stats = medium.stats
+    assert stats.frames_sent == 200
+    assert stats.frames_delivered + stats.frames_lost == 200
+    assert 0.3 < stats.delivery_ratio < 0.7
+    assert stats.as_dict()["loss_ratio"] == pytest.approx(stats.loss_ratio)
+
+
+def test_frame_copy_for_preserves_payload_and_changes_id():
+    frame = Frame(source="a", destination=BROADCAST_ADDRESS, payload={"k": 1}, size_bytes=99)
+    copy = frame.copy_for("b")
+    assert copy.destination == "b"
+    assert copy.payload is frame.payload
+    assert copy.size_bytes == 99
+    assert copy.frame_id != frame.frame_id

@@ -1,0 +1,117 @@
+"""Tests for placement and mobility models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.mobility import (
+    GridPlacement,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    StaticPlacement,
+    UniformRandomPlacement,
+    chain_positions,
+    ring_positions,
+)
+from repro.netsim.network import Network
+from repro.netsim.engine import Simulator
+
+
+NODE_IDS = [f"n{i}" for i in range(9)]
+
+
+def test_static_placement_returns_given_positions():
+    placement = StaticPlacement({"a": (1.0, 2.0), "b": (3.0, 4.0)})
+    assert placement.place(["a", "b"]) == {"a": (1.0, 2.0), "b": (3.0, 4.0)}
+
+
+def test_static_placement_missing_node_raises():
+    placement = StaticPlacement({"a": (1.0, 2.0)})
+    with pytest.raises(ValueError):
+        placement.place(["a", "b"])
+
+
+def test_grid_placement_spacing_and_shape():
+    placement = GridPlacement(spacing=100.0)
+    positions = placement.place(NODE_IDS)
+    assert len(positions) == 9
+    assert positions["n0"] == (0.0, 0.0)
+    assert positions["n1"] == (100.0, 0.0)
+    assert positions["n3"] == (0.0, 100.0)
+
+
+def test_grid_placement_explicit_columns():
+    placement = GridPlacement(spacing=10.0, columns=2)
+    positions = placement.place(["a", "b", "c"])
+    assert positions["c"] == (0.0, 10.0)
+
+
+def test_uniform_random_placement_within_bounds():
+    placement = UniformRandomPlacement(width=50.0, height=20.0, rng=random.Random(5))
+    positions = placement.place(NODE_IDS)
+    for x, y in positions.values():
+        assert 0.0 <= x <= 50.0
+        assert 0.0 <= y <= 20.0
+
+
+def test_uniform_random_placement_deterministic_with_seed():
+    a = UniformRandomPlacement(rng=random.Random(9)).place(NODE_IDS)
+    b = UniformRandomPlacement(rng=random.Random(9)).place(NODE_IDS)
+    assert a == b
+
+
+def test_random_waypoint_moves_nodes_over_time():
+    mobility = RandomWaypointMobility(width=500.0, height=500.0, min_speed=10.0,
+                                      max_speed=20.0, rng=random.Random(3))
+    network = Network(simulator=Simulator(), mobility=mobility, seed=3)
+    network.add_nodes(["a", "b"])
+    before = dict(network.positions)
+    network.run(until=20.0)
+    after = dict(network.positions)
+    assert any(before[n] != after[n] for n in before)
+
+
+def test_random_waypoint_stays_within_bounds():
+    mobility = RandomWaypointMobility(width=100.0, height=100.0, min_speed=20.0,
+                                      max_speed=40.0, rng=random.Random(11))
+    network = Network(simulator=Simulator(), mobility=mobility, seed=11)
+    network.add_nodes(NODE_IDS)
+    network.run(until=60.0)
+    for x, y in network.positions.values():
+        assert -1e-6 <= x <= 100.0 + 1e-6
+        assert -1e-6 <= y <= 100.0 + 1e-6
+
+
+def test_random_walk_moves_and_stays_in_bounds():
+    mobility = RandomWalkMobility(width=50.0, height=50.0, max_step=5.0,
+                                  rng=random.Random(2))
+    network = Network(simulator=Simulator(), mobility=mobility, seed=2)
+    network.add_nodes(["a", "b", "c"])
+    before = dict(network.positions)
+    network.run(until=30.0)
+    after = dict(network.positions)
+    assert any(before[n] != after[n] for n in before)
+    for x, y in after.values():
+        assert 0.0 <= x <= 50.0
+        assert 0.0 <= y <= 50.0
+
+
+def test_ring_positions_equidistant_from_center():
+    positions = ring_positions(["a", "b", "c", "d"], radius=100.0, center=(10.0, 10.0))
+    for x, y in positions.values():
+        assert ((x - 10.0) ** 2 + (y - 10.0) ** 2) ** 0.5 == pytest.approx(100.0)
+
+
+def test_chain_positions_spacing():
+    positions = chain_positions(["a", "b", "c"], spacing=75.0)
+    assert positions == {"a": (0.0, 0.0), "b": (75.0, 0.0), "c": (150.0, 0.0)}
+
+
+def test_static_install_is_noop():
+    placement = StaticPlacement({"a": (0.0, 0.0)})
+    network = Network(simulator=Simulator(), mobility=placement)
+    network.add_nodes(["a"])
+    network.run(until=10.0)
+    assert network.positions["a"] == (0.0, 0.0)

@@ -1,0 +1,145 @@
+"""Tests for the OLSR information repositories (link / neighbour / 2-hop / selector sets)."""
+
+from __future__ import annotations
+
+from repro.olsr.constants import Willingness
+from repro.olsr.link_state import (
+    LinkSet,
+    LinkTuple,
+    MprSelectorSet,
+    MprSelectorTuple,
+    NeighborSet,
+    NeighborTuple,
+    TwoHopNeighborSet,
+    TwoHopTuple,
+)
+
+
+# ----------------------------------------------------------------- link set
+def test_link_status_transitions():
+    link = LinkTuple("me", "n1", sym_time=10.0, asym_time=10.0, expiry_time=20.0)
+    assert link.is_symmetric(5.0)
+    assert link.status(5.0) == "SYM"
+    assert not link.is_symmetric(11.0)
+    assert link.is_asymmetric(11.0) is False  # asym expired too
+    link2 = LinkTuple("me", "n1", sym_time=-1.0, asym_time=10.0, expiry_time=20.0)
+    assert link2.is_asymmetric(5.0)
+    assert link2.status(5.0) == "ASYM"
+    assert link2.status(15.0) == "LOST"
+
+
+def test_link_set_upsert_and_queries():
+    links = LinkSet()
+    links.upsert(LinkTuple("me", "a", sym_time=10.0, asym_time=10.0, expiry_time=20.0))
+    links.upsert(LinkTuple("me", "b", sym_time=-1.0, asym_time=10.0, expiry_time=20.0))
+    assert links.symmetric_neighbors(5.0) == {"a"}
+    assert links.asymmetric_neighbors(5.0) == {"b"}
+    assert links.all_neighbors() == {"a", "b"}
+    assert len(links) == 2
+
+
+def test_link_set_purge_expired():
+    links = LinkSet()
+    links.upsert(LinkTuple("me", "a", expiry_time=5.0))
+    links.upsert(LinkTuple("me", "b", expiry_time=50.0))
+    expired = links.purge_expired(10.0)
+    assert [l.neighbor_address for l in expired] == ["a"]
+    assert links.get("a") is None
+    assert links.get("b") is not None
+
+
+def test_link_set_remove():
+    links = LinkSet()
+    links.upsert(LinkTuple("me", "a", expiry_time=5.0))
+    links.remove("a")
+    links.remove("ghost")  # removing absent link is a no-op
+    assert len(links) == 0
+
+
+# ------------------------------------------------------------- neighbour set
+def test_neighbor_set_symmetric_and_willingness():
+    neighbors = NeighborSet()
+    neighbors.upsert(NeighborTuple("a", symmetric=True, willingness=Willingness.WILL_HIGH))
+    neighbors.upsert(NeighborTuple("b", symmetric=False))
+    assert neighbors.symmetric_neighbors() == {"a"}
+    assert neighbors.willingness_of("a") == Willingness.WILL_HIGH
+    assert neighbors.willingness_of("unknown") == Willingness.WILL_DEFAULT
+    assert neighbors.addresses() == {"a", "b"}
+
+
+def test_neighbor_set_remove():
+    neighbors = NeighborSet()
+    neighbors.upsert(NeighborTuple("a"))
+    neighbors.remove("a")
+    assert neighbors.get("a") is None
+    assert len(neighbors) == 0
+
+
+# ----------------------------------------------------------------- 2-hop set
+def build_two_hop_set() -> TwoHopNeighborSet:
+    two_hop = TwoHopNeighborSet()
+    two_hop.upsert(TwoHopTuple("n1", "x", expiry_time=100.0))
+    two_hop.upsert(TwoHopTuple("n1", "y", expiry_time=100.0))
+    two_hop.upsert(TwoHopTuple("n2", "y", expiry_time=100.0))
+    two_hop.upsert(TwoHopTuple("n2", "z", expiry_time=100.0))
+    return two_hop
+
+
+def test_two_hop_queries():
+    two_hop = build_two_hop_set()
+    assert two_hop.two_hop_addresses() == {"x", "y", "z"}
+    assert two_hop.reachable_through("n1") == {"x", "y"}
+    assert two_hop.providers_of("y") == {"n1", "n2"}
+    assert two_hop.providers_of("x") == {"n1"}
+    assert two_hop.coverage_map() == {"n1": {"x", "y"}, "n2": {"y", "z"}}
+
+
+def test_two_hop_remove_for_neighbor():
+    two_hop = build_two_hop_set()
+    two_hop.remove_for_neighbor("n1")
+    assert two_hop.two_hop_addresses() == {"y", "z"}
+    assert two_hop.reachable_through("n1") == set()
+
+
+def test_two_hop_remove_single_tuple():
+    two_hop = build_two_hop_set()
+    two_hop.remove("n2", "y")
+    assert two_hop.providers_of("y") == {"n1"}
+
+
+def test_two_hop_purge_expired():
+    two_hop = TwoHopNeighborSet()
+    two_hop.upsert(TwoHopTuple("n1", "x", expiry_time=5.0))
+    two_hop.upsert(TwoHopTuple("n1", "y", expiry_time=50.0))
+    expired = two_hop.purge_expired(10.0)
+    assert len(expired) == 1
+    assert two_hop.two_hop_addresses() == {"y"}
+
+
+def test_two_hop_upsert_refreshes_existing():
+    two_hop = TwoHopNeighborSet()
+    two_hop.upsert(TwoHopTuple("n1", "x", expiry_time=5.0))
+    two_hop.upsert(TwoHopTuple("n1", "x", expiry_time=50.0))
+    assert len(two_hop) == 1
+    assert two_hop.purge_expired(10.0) == []
+
+
+# ------------------------------------------------------------- selector set
+def test_mpr_selector_set_membership_and_purge():
+    selectors = MprSelectorSet()
+    selectors.upsert(MprSelectorTuple("a", expiry_time=5.0))
+    selectors.upsert(MprSelectorTuple("b", expiry_time=50.0))
+    assert selectors.contains("a")
+    assert selectors.addresses() == {"a", "b"}
+    expired = selectors.purge_expired(10.0)
+    assert [s.selector_address for s in expired] == ["a"]
+    assert not selectors.contains("a")
+    assert len(selectors) == 1
+
+
+def test_mpr_selector_remove():
+    selectors = MprSelectorSet()
+    selectors.upsert(MprSelectorTuple("a", expiry_time=50.0))
+    selectors.remove("a")
+    selectors.remove("ghost")
+    assert selectors.addresses() == set()

@@ -1,0 +1,122 @@
+"""Tests for the topology set (TC processing) and the duplicate set."""
+
+from __future__ import annotations
+
+from repro.olsr.duplicate import DuplicateSet
+from repro.olsr.topology import TopologySet, _ansn_older
+
+
+def test_process_tc_adds_edges():
+    topology = TopologySet()
+    changed = topology.process_tc("mpr1", ansn=1, advertised={"a", "b"}, now=0.0, hold_time=15.0)
+    assert changed
+    assert topology.destinations() == {"a", "b"}
+    assert topology.last_hops_for("a") == {"mpr1"}
+    assert topology.advertised_by("mpr1") == {"a", "b"}
+    assert len(topology) == 2
+
+
+def test_process_tc_older_ansn_ignored():
+    topology = TopologySet()
+    topology.process_tc("mpr1", ansn=5, advertised={"a"}, now=0.0, hold_time=15.0)
+    changed = topology.process_tc("mpr1", ansn=3, advertised={"b"}, now=1.0, hold_time=15.0)
+    assert not changed
+    assert topology.destinations() == {"a"}
+
+
+def test_process_tc_newer_ansn_replaces_old_edges():
+    topology = TopologySet()
+    topology.process_tc("mpr1", ansn=1, advertised={"a", "b"}, now=0.0, hold_time=15.0)
+    topology.process_tc("mpr1", ansn=2, advertised={"c"}, now=1.0, hold_time=15.0)
+    assert topology.advertised_by("mpr1") == {"c"}
+
+
+def test_process_tc_same_ansn_refreshes():
+    topology = TopologySet()
+    topology.process_tc("mpr1", ansn=1, advertised={"a"}, now=0.0, hold_time=10.0)
+    changed = topology.process_tc("mpr1", ansn=1, advertised={"a"}, now=5.0, hold_time=10.0)
+    assert not changed  # nothing new, just refreshed
+    assert topology.purge_expired(12.0) == []  # expiry pushed to 15
+
+
+def test_multiple_originators_coexist():
+    topology = TopologySet()
+    topology.process_tc("m1", ansn=1, advertised={"a"}, now=0.0, hold_time=15.0)
+    topology.process_tc("m2", ansn=7, advertised={"a", "b"}, now=0.0, hold_time=15.0)
+    assert topology.last_hops_for("a") == {"m1", "m2"}
+    assert set(topology.edges()) == {("m1", "a"), ("m2", "a"), ("m2", "b")}
+
+
+def test_remove_for_originator():
+    topology = TopologySet()
+    topology.process_tc("m1", ansn=1, advertised={"a"}, now=0.0, hold_time=15.0)
+    topology.process_tc("m2", ansn=1, advertised={"b"}, now=0.0, hold_time=15.0)
+    topology.remove_for_originator("m1")
+    assert topology.destinations() == {"b"}
+
+
+def test_topology_purge_expired():
+    topology = TopologySet()
+    topology.process_tc("m1", ansn=1, advertised={"a"}, now=0.0, hold_time=5.0)
+    topology.process_tc("m2", ansn=1, advertised={"b"}, now=0.0, hold_time=50.0)
+    expired = topology.purge_expired(10.0)
+    assert len(expired) == 1
+    assert topology.destinations() == {"b"}
+
+
+def test_topology_get_specific_tuple():
+    topology = TopologySet()
+    topology.process_tc("m1", ansn=4, advertised={"a"}, now=0.0, hold_time=15.0)
+    record = topology.get("a", "m1")
+    assert record is not None and record.ansn == 4
+    assert topology.get("a", "ghost") is None
+
+
+def test_ansn_wraparound_comparison():
+    assert _ansn_older(5, 10)
+    assert not _ansn_older(10, 5)
+    # Wrap-around: 65530 is "older" than 2 in 16-bit sequence space.
+    assert _ansn_older(65530, 2) is True
+    assert _ansn_older(2, 65530) is False
+
+
+# ------------------------------------------------------------ duplicate set
+def test_duplicate_seen_and_forwarded_tracking():
+    duplicates = DuplicateSet(hold_time=30.0)
+    assert not duplicates.seen("a", 1)
+    duplicates.record("a", 1, now=0.0, received_from="x")
+    assert duplicates.seen("a", 1)
+    assert not duplicates.already_forwarded("a", 1)
+    duplicates.mark_forwarded("a", 1)
+    assert duplicates.already_forwarded("a", 1)
+
+
+def test_duplicate_record_accumulates_receivers():
+    duplicates = DuplicateSet()
+    duplicates.record("a", 1, now=0.0, received_from="x")
+    record = duplicates.record("a", 1, now=1.0, received_from="y")
+    assert record.received_from == {"x", "y"}
+
+
+def test_duplicate_purge_expired():
+    duplicates = DuplicateSet(hold_time=10.0)
+    duplicates.record("a", 1, now=0.0, received_from="x")
+    duplicates.record("b", 2, now=20.0, received_from="x")
+    expired = duplicates.purge_expired(15.0)
+    assert len(expired) == 1
+    assert not duplicates.seen("a", 1)
+    assert duplicates.seen("b", 2)
+
+
+def test_duplicate_refresh_extends_expiry():
+    duplicates = DuplicateSet(hold_time=10.0)
+    duplicates.record("a", 1, now=0.0, received_from="x")
+    duplicates.record("a", 1, now=8.0, received_from="x")
+    assert duplicates.purge_expired(15.0) == []
+    assert duplicates.seen("a", 1)
+
+
+def test_mark_forwarded_on_unknown_message_is_noop():
+    duplicates = DuplicateSet()
+    duplicates.mark_forwarded("ghost", 99)
+    assert not duplicates.already_forwarded("ghost", 99)

@@ -1,0 +1,49 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.core", "repro.trust", "repro.olsr", "repro.netsim", "repro.logs",
+    "repro.attacks", "repro.baselines", "repro.metrics", "repro.experiments",
+])
+def test_subpackage_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_quickstart_snippet_from_readme_works():
+    result = repro.run_figure1(repro.ScenarioConfig(seed=1, rounds=5))
+    rows = result.rows()
+    assert rows and all("final_trust" in row for row in rows)
+
+
+def test_top_level_trust_primitives():
+    manager = repro.TrustManager("me", repro.TrustParameters())
+    assert 0.0 <= manager.trust_of("anyone") <= 1.0
+    interval = repro.confidence_interval([1.0, -1.0], center=0.0)
+    assert interval.margin > 0
+    assert repro.decide(-0.95, 0.05, gamma=0.6) == repro.DecisionOutcome.INTRUDER
+
+
+def test_public_docstrings_on_key_classes():
+    for obj in (repro.DetectorNode, repro.TrustManager, repro.RoundBasedExperiment,
+                repro.ScenarioConfig, repro.aggregate_detection, repro.decide):
+        assert obj.__doc__, f"{obj!r} lacks a docstring"

@@ -1,0 +1,143 @@
+"""Tests for trust propagation (Eqs. 6 and 7) and recommendation bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trust.propagation import (
+    Recommendation,
+    blended_trust,
+    combine_recommendations,
+    concatenated_trust,
+    multipath_trust,
+    normalised_weights,
+    recommendation_matrix_trust,
+    transitive_trust_chain,
+)
+from repro.trust.recommendation import RecommendationManager
+
+
+def test_concatenated_trust_is_product():
+    assert concatenated_trust(0.5, 0.8) == pytest.approx(0.4)
+    assert concatenated_trust(0.0, 0.9) == 0.0
+
+
+def test_concatenated_trust_never_exceeds_inputs():
+    assert concatenated_trust(0.7, 0.9) <= 0.7
+    assert concatenated_trust(0.7, 0.9) <= 0.9
+
+
+def test_normalised_weights_sum_times_trust_is_mean_like():
+    weights = normalised_weights([0.5, 0.5])
+    assert weights == [1.0, 1.0]
+    assert sum(w * t for w, t in zip(weights, [0.5, 0.5])) == pytest.approx(1.0)
+
+
+def test_normalised_weights_zero_when_no_trust():
+    assert normalised_weights([0.0, 0.0]) == [0.0, 0.0]
+    assert normalised_weights([]) == []
+
+
+def test_multipath_trust_equal_recommenders():
+    # Two equally trusted recommenders reporting the same value yield that value.
+    result = multipath_trust([(0.5, 0.8), (0.5, 0.8)])
+    assert result == pytest.approx(0.8)
+
+
+def test_multipath_trust_weighted_by_recommendation_trust():
+    trusted_says_good = multipath_trust([(0.9, 1.0), (0.1, -1.0)])
+    trusted_says_bad = multipath_trust([(0.9, -1.0), (0.1, 1.0)])
+    assert trusted_says_good > 0
+    assert trusted_says_bad < 0
+
+
+def test_multipath_trust_empty_is_uncertain():
+    assert multipath_trust([]) == 0.0
+
+
+def test_combine_recommendations_uses_default_for_unknown():
+    recommendations = [
+        Recommendation("s1", "target", 0.9),
+        Recommendation("s2", "target", -0.5),
+    ]
+    result = combine_recommendations(recommendations, {"s1": 0.8},
+                                     default_recommendation_trust=0.2)
+    expected = multipath_trust([(0.8, 0.9), (0.2, -0.5)])
+    assert result == pytest.approx(expected)
+
+
+def test_blended_trust_prefers_first_hand():
+    blended = blended_trust(direct_trust=0.9, propagated_trust=0.1, direct_weight=0.7)
+    assert blended == pytest.approx(0.7 * 0.9 + 0.3 * 0.1)
+    with pytest.raises(ValueError):
+        blended_trust(0.5, 0.5, direct_weight=1.5)
+
+
+def test_transitive_chain_shrinks_with_length():
+    short = transitive_trust_chain([0.8, 0.8])
+    long = transitive_trust_chain([0.8, 0.8, 0.8, 0.8])
+    assert long < short
+
+
+def test_recommendation_matrix_trust_skips_missing_opinions():
+    recommenders = {
+        "s1": {"target": 0.9},
+        "s2": {"other": -1.0},
+    }
+    result = recommendation_matrix_trust("target", recommenders, {"s1": 0.5, "s2": 0.5})
+    assert result == pytest.approx(multipath_trust([(0.5, 0.9)]))
+
+
+# ------------------------------------------------------- recommendation trust
+def test_recommendation_manager_defaults_and_updates():
+    manager = RecommendationManager("me", default_value=0.4, reward=0.1, penalty=0.2)
+    assert manager.recommendation_trust("s") == pytest.approx(0.4)
+    manager.record_agreement("s")
+    assert manager.recommendation_trust("s") == pytest.approx(0.5)
+    manager.record_disagreement("s")
+    assert manager.recommendation_trust("s") == pytest.approx(0.3)
+
+
+def test_recommendation_manager_penalty_exceeds_reward_by_default():
+    manager = RecommendationManager("me")
+    assert manager.penalty > manager.reward
+
+
+def test_recommendation_manager_bounds():
+    manager = RecommendationManager("me", default_value=0.9, reward=0.5, penalty=0.5)
+    manager.record_agreement("s")
+    assert manager.recommendation_trust("s") == 1.0
+    for _ in range(5):
+        manager.record_disagreement("s")
+    assert manager.recommendation_trust("s") == 0.0
+
+
+def test_recommendation_manager_record_outcome_none_is_noop():
+    manager = RecommendationManager("me")
+    before = manager.recommendation_trust("s")
+    manager.record_outcome("s", None)
+    assert manager.recommendation_trust("s") == before
+
+
+def test_recommendation_manager_accuracy():
+    manager = RecommendationManager("me")
+    manager.record_agreement("s")
+    manager.record_agreement("s")
+    manager.record_disagreement("s")
+    assert manager.accuracy_of("s") == pytest.approx(2 / 3)
+    assert manager.accuracy_of("unknown") == 0.0
+
+
+def test_recommendation_manager_set_initial_and_as_dict():
+    manager = RecommendationManager("me")
+    manager.set_initial("s", 0.7)
+    manager.set_initial("t", 2.0)  # clamped
+    assert manager.as_dict() == {"s": 0.7, "t": 1.0}
+    assert manager.known_recommenders() == ["s", "t"]
+
+
+def test_recommendation_manager_validates_configuration():
+    with pytest.raises(ValueError):
+        RecommendationManager("me", minimum=1.0, maximum=0.0)
+    with pytest.raises(ValueError):
+        RecommendationManager("me", default_value=5.0)
