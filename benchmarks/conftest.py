@@ -4,11 +4,34 @@ Every benchmark regenerates one of the paper's figures (or one of the
 extension tables listed in DESIGN.md), times it with pytest-benchmark and
 prints the same rows/series the paper reports so the output can be compared
 side by side with the publication (see EXPERIMENTS.md).
+
+Every benchmark in this directory carries the ``bench`` marker (applied
+automatically below), so the default tier-1 run collects and executes them
+while a quick iteration loop can skip them with ``-m "not bench"``.
 """
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Tag every test in this directory with the ``bench`` marker.
+
+    The hook receives the whole session's item list, so filter by path —
+    tests under ``tests/`` must stay unmarked.
+    """
+    for item in items:
+        try:
+            item_path = pathlib.Path(str(item.fspath)).resolve()
+        except OSError:
+            continue
+        if _BENCH_DIR in item_path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def _emit(title: str, body: str) -> None:

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scenario-campaign sweep across the paper's evaluation axes.
+
+This example shows the campaign runner (:mod:`repro.experiments.campaign`)
+exploring a small grid of full-stack MANET runs in parallel worker
+processes: node count × loss model × mobility × liar fraction, each cell
+seeded stably so the sweep is reproducible run-to-run.  The same sweep is
+available from the shell::
+
+    python -m repro.experiments.campaign \
+        --node-counts 8,16 --liar-fractions 0.0,0.25 \
+        --loss bernoulli:0.0,bernoulli:0.2 --speeds 0,4 --workers 4
+
+Usage::
+
+    python examples/campaign_sweep.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import CampaignGrid, run_campaign
+
+
+def main() -> int:
+    grid = CampaignGrid(
+        node_counts=(8, 16),
+        liar_fractions=(0.0, 0.25),
+        loss_models=("bernoulli:0.0", "bernoulli:0.2"),
+        max_speeds=(0.0, 4.0),
+        base_seed=7,
+        warmup=25.0,
+        cycles=3,
+    )
+    print(f"Expanding the grid into {grid.size()} seeded scenario cells...")
+    workers = min(4, os.cpu_count() or 1)
+    print(f"Running on {workers} worker processes (results are identical "
+          f"whatever the worker count).\n")
+    result = run_campaign(grid, workers=workers)
+    print(result.format_report())
+
+    detected = sum(1 for run in result.runs
+                   if run.final_detect is not None and run.final_detect < 0)
+    print(f"\n{detected}/{len(result.runs)} cells ended with a negative Detect "
+          f"value (attacker exposed); cells with liars or heavy loss shield "
+          f"the attacker, exactly the axis the paper's Figure 3 sweeps.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

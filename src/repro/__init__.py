@@ -49,7 +49,21 @@ from repro.trust import TrustManager, TrustParameters, confidence_interval
 
 __version__ = "1.0.0"
 
+# Lazy campaign exports (PEP 562); see repro.experiments.__getattr__.
+_CAMPAIGN_EXPORTS = ("CampaignGrid", "CampaignResult", "run_campaign")
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.experiments import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "CampaignGrid",
+    "CampaignResult",
     "DecisionOutcome",
     "DetectionConfig",
     "DetectorNode",
@@ -66,6 +80,7 @@ __all__ = [
     "decide",
     "evaluate_investigation",
     "run_ablation",
+    "run_campaign",
     "run_confidence_sweep",
     "run_figure1",
     "run_figure2",

@@ -31,6 +31,7 @@ from repro.logs.analyzer import LogAnalyzer
 from repro.olsr.node import OlsrConfig, OlsrNode
 from repro.trust.manager import TrustManager, TrustParameters
 from repro.trust.recommendation import RecommendationManager
+from repro.seeding import stable_digest
 
 AnswerMutator = Callable[[str, str, bool], Optional[bool]]
 
@@ -61,7 +62,7 @@ class DetectorNode:
         self.node_id = node_id
         self.network = network
         self.detection_config = detection_config or DetectionConfig()
-        self.rng = random.Random(seed if seed is not None else hash(node_id) & 0xFFFF)
+        self.rng = random.Random(seed if seed is not None else stable_digest(node_id) & 0xFFFF)
 
         self.olsr = OlsrNode(node_id, network, config=olsr_config,
                              seed=self.rng.randint(0, 2 ** 31))

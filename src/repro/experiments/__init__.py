@@ -13,6 +13,9 @@
 * :mod:`repro.experiments.ablation` — trust weighting vs. baselines
   (extension Table B).
 * :mod:`repro.experiments.scenario` — full-stack simulated MANET scenarios.
+* :mod:`repro.experiments.campaign` — declarative multi-process scenario
+  campaigns over node count × loss × mobility × attack variant × liar
+  fraction grids (also a CLI: ``python -m repro.experiments.campaign``).
 * :mod:`repro.experiments.report` — plain-text tables and sparklines.
 """
 
@@ -42,6 +45,7 @@ from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.figure2 import Figure2Result, run_figure2
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.report import (
+    aggregate_rows,
     format_series,
     format_table,
     format_trajectories,
@@ -60,9 +64,38 @@ from repro.experiments.scenario import (
     build_manet_scenario,
 )
 
+# Campaign exports are resolved lazily (PEP 562): importing them eagerly
+# would put repro.experiments.campaign in sys.modules before ``python -m
+# repro.experiments.campaign`` executes it, triggering a runpy warning on
+# every CLI invocation.
+_CAMPAIGN_EXPORTS = (
+    "CampaignGrid",
+    "CampaignResult",
+    "CampaignRunResult",
+    "CampaignSpec",
+    "execute_spec",
+    "run_campaign",
+)
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.experiments import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AblationResult",
     "CANONICAL_POSITIONS",
+    "CampaignGrid",
+    "CampaignResult",
+    "CampaignRunResult",
+    "CampaignSpec",
+    "aggregate_rows",
+    "execute_spec",
+    "run_campaign",
     "ConfidenceSweepResult",
     "ConfidenceSweepRow",
     "ExperimentResult",

@@ -1,0 +1,383 @@
+"""Scenario-campaign runner: declarative grids of full-stack MANET runs.
+
+The paper's evaluation sweeps detection behaviour across many network
+configurations.  This module makes such sweeps first-class: a
+:class:`CampaignGrid` declares the axes to explore (node count × loss model ×
+mobility × attack variant × liar fraction × repetitions), :meth:`CampaignGrid.expand`
+turns the cross product into frozen, picklable :class:`CampaignSpec` cells
+with per-run seeds derived stably via :func:`repro.seeding.stable_seed`
+(never the process-salted ``hash``), and :func:`run_campaign` executes the
+cells — serially or across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor` — before aggregating the
+rows through :mod:`repro.experiments.report`.
+
+Every cell runs the *full* simulator stack (OLSR over the spatial-indexed
+wireless medium, the link-spoofing attack, colluding liars, the cooperative
+investigation), so the campaign benefits directly from the medium's
+O(neighbours) fast path.  Results are deterministic: the same grid and base
+seed produce byte-identical reports regardless of worker count or invocation.
+
+Command line
+------------
+``python -m repro.experiments.campaign`` exposes the runner::
+
+    python -m repro.experiments.campaign \
+        --node-counts 8,16 --liar-fractions 0.0,0.25 \
+        --loss bernoulli:0.0,bernoulli:0.2 --speeds 0,5 \
+        --variants false_existing_link --workers 4 --output report.txt
+
+See ``--help`` for the full set of knobs (warm-up, cycles, seed, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.signatures import LinkSpoofingVariant
+from repro.experiments.report import aggregate_rows, format_table, render_report
+from repro.experiments.scenario import build_manet_scenario
+from repro.seeding import stable_seed
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One fully-resolved grid cell (picklable; safe to ship to a worker)."""
+
+    run_id: str
+    seed: int
+    node_count: int
+    liar_fraction: float
+    loss_model: str
+    loss_probability: float
+    max_speed: float
+    attack_variant: str
+    repetition: int = 0
+    area_size: float = 800.0
+    radio_range: float = 250.0
+    warmup: float = 35.0
+    attack_start: float = 40.0
+    cycles: int = 5
+    cycle_length: float = 10.0
+
+    def liar_count(self) -> int:
+        """Liar head-count implied by ``liar_fraction`` (responders only)."""
+        responders = max(self.node_count - 2, 0)
+        return min(responders, int(round(self.liar_fraction * responders)))
+
+
+@dataclass
+class CampaignGrid:
+    """Declarative parameter grid, expanded into seeded :class:`CampaignSpec` cells.
+
+    ``loss_models`` entries are ``"kind:probability"`` strings (for example
+    ``"bernoulli:0.2"`` or ``"distance:0.8"``); ``attack_variants`` use the
+    :class:`~repro.core.signatures.LinkSpoofingVariant` values.
+    """
+
+    node_counts: Sequence[int] = (16,)
+    liar_fractions: Sequence[float] = (0.25,)
+    loss_models: Sequence[str] = ("bernoulli:0.0",)
+    max_speeds: Sequence[float] = (0.0,)
+    attack_variants: Sequence[str] = (str(LinkSpoofingVariant.FALSE_EXISTING_LINK),)
+    repetitions: int = 1
+    base_seed: int = 7
+    area_size: float = 800.0
+    radio_range: float = 250.0
+    warmup: float = 35.0
+    attack_start: float = 40.0
+    cycles: int = 5
+    cycle_length: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        for fraction in self.liar_fractions:
+            if not 0.0 <= fraction < 1.0:
+                raise ValueError("liar fractions must be in [0, 1)")
+        for entry in self.loss_models:
+            _parse_loss(entry)
+        for variant in self.attack_variants:
+            LinkSpoofingVariant(variant)
+
+    def size(self) -> int:
+        """Number of grid cells (runs) the campaign will execute."""
+        return (len(self.node_counts) * len(self.liar_fractions)
+                * len(self.loss_models) * len(self.max_speeds)
+                * len(self.attack_variants) * self.repetitions)
+
+    def expand(self) -> List[CampaignSpec]:
+        """The full cross product as seeded, stably-identified specs."""
+        specs: List[CampaignSpec] = []
+        for node_count in self.node_counts:
+            for variant in self.attack_variants:
+                for loss_entry in self.loss_models:
+                    loss_kind, loss_probability = _parse_loss(loss_entry)
+                    for max_speed in self.max_speeds:
+                        for liar_fraction in self.liar_fractions:
+                            for repetition in range(self.repetitions):
+                                run_id = (
+                                    f"n{node_count:03d}-{variant}"
+                                    f"-{loss_kind}{loss_probability:g}"
+                                    f"-v{max_speed:g}-l{liar_fraction:g}"
+                                    f"-r{repetition}"
+                                )
+                                specs.append(CampaignSpec(
+                                    run_id=run_id,
+                                    seed=stable_seed(self.base_seed, run_id),
+                                    node_count=node_count,
+                                    liar_fraction=liar_fraction,
+                                    loss_model=loss_kind,
+                                    loss_probability=loss_probability,
+                                    max_speed=max_speed,
+                                    attack_variant=variant,
+                                    repetition=repetition,
+                                    area_size=self.area_size,
+                                    radio_range=self.radio_range,
+                                    warmup=self.warmup,
+                                    attack_start=self.attack_start,
+                                    cycles=self.cycles,
+                                    cycle_length=self.cycle_length,
+                                ))
+        specs.sort(key=lambda spec: spec.run_id)
+        return specs
+
+
+def _parse_loss(entry: str) -> Tuple[str, float]:
+    """Parse a ``"kind:probability"`` loss-model axis entry."""
+    kind, _, raw = entry.partition(":")
+    kind = kind.strip() or "bernoulli"
+    if kind not in ("bernoulli", "distance"):
+        raise ValueError(f"unknown loss model {kind!r}")
+    probability = float(raw) if raw else 0.0
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"loss probability {probability} outside [0, 1]")
+    return kind, probability
+
+
+@dataclass
+class CampaignRunResult:
+    """Aggregatable outcome of one campaign cell."""
+
+    spec: CampaignSpec
+    attacker_investigated: bool
+    detection_cycles: int
+    final_detect: Optional[float]
+    attacker_trust: Optional[float]
+    mean_liar_trust: Optional[float]
+    mean_honest_trust: Optional[float]
+    frames_sent: int
+    frames_delivered: int
+    events_processed: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat row for tabular output (stable column order)."""
+        spec = self.spec
+        return {
+            "run_id": spec.run_id,
+            "nodes": spec.node_count,
+            "variant": spec.attack_variant,
+            "loss": f"{spec.loss_model}:{spec.loss_probability:g}",
+            "speed": spec.max_speed,
+            "liar_fraction": spec.liar_fraction,
+            "seed": spec.seed,
+            "investigated": self.attacker_investigated,
+            "cycles": self.detection_cycles,
+            "final_detect": _rounded(self.final_detect),
+            "attacker_trust": _rounded(self.attacker_trust),
+            "liar_trust": _rounded(self.mean_liar_trust),
+            "honest_trust": _rounded(self.mean_honest_trust),
+            "frames_sent": self.frames_sent,
+            "frames_delivered": self.frames_delivered,
+            "events": self.events_processed,
+        }
+
+
+def _rounded(value: Optional[float], digits: int = 4) -> Optional[float]:
+    return None if value is None else round(value, digits)
+
+
+@dataclass
+class CampaignResult:
+    """All rows of a campaign, with reporting helpers."""
+
+    grid: Optional[CampaignGrid]
+    runs: List[CampaignRunResult] = field(default_factory=list)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One row per run, sorted by run id."""
+        return [run.as_row() for run in sorted(self.runs, key=lambda r: r.spec.run_id)]
+
+    def aggregate(self, group_by: Sequence[str] = ("variant", "liar_fraction")) -> List[Dict[str, object]]:
+        """Mean detection/trust metrics per group of the per-run rows."""
+        return aggregate_rows(
+            self.as_rows(), group_by,
+            ("final_detect", "attacker_trust", "liar_trust", "honest_trust", "cycles"),
+        )
+
+    def format_report(self) -> str:
+        """Deterministic plain-text report (no timestamps, no wall-clock)."""
+        sections = [
+            format_table(self.as_rows(), title=f"Campaign — {len(self.runs)} runs"),
+            format_table(self.aggregate(("variant", "liar_fraction")),
+                         title="Aggregate by attack variant × liar fraction"),
+            format_table(self.aggregate(("nodes", "loss")),
+                         title="Aggregate by node count × loss model"),
+        ]
+        return render_report(sections)
+
+
+def execute_spec(spec: CampaignSpec) -> CampaignRunResult:
+    """Run one grid cell end to end (the process-pool worker entry point)."""
+    scenario = build_manet_scenario(
+        node_count=spec.node_count,
+        liar_count=spec.liar_count(),
+        seed=spec.seed,
+        area_size=spec.area_size,
+        radio_range=spec.radio_range,
+        loss_probability=spec.loss_probability,
+        attack_start=spec.attack_start,
+        attack_variant=LinkSpoofingVariant(spec.attack_variant),
+        loss_model=spec.loss_model,
+        max_speed=spec.max_speed,
+    )
+    network = scenario.network
+    victim = scenario.victim
+    scenario.warm_up(spec.warmup)
+    victim.detection_round()
+
+    attacker_rounds = []
+    for _ in range(spec.cycles):
+        network.run(until=network.now + spec.cycle_length)
+        for round_result in victim.detection_round():
+            if round_result.suspect == scenario.attacker_id:
+                attacker_rounds.append(round_result)
+
+    trust = victim.trust
+    liar_trusts = [trust.trust_of(nid) for nid in sorted(scenario.liar_ids)]
+    honest_ids = sorted(
+        nid for nid in scenario.nodes
+        if nid not in scenario.liar_ids
+        and nid not in (scenario.victim_id, scenario.attacker_id)
+    )
+    honest_trusts = [trust.trust_of(nid) for nid in honest_ids]
+    return CampaignRunResult(
+        spec=spec,
+        attacker_investigated=bool(attacker_rounds),
+        detection_cycles=len(attacker_rounds),
+        final_detect=(attacker_rounds[-1].decision.detect_value
+                      if attacker_rounds else None),
+        attacker_trust=trust.trust_of(scenario.attacker_id),
+        mean_liar_trust=(sum(liar_trusts) / len(liar_trusts)) if liar_trusts else None,
+        mean_honest_trust=(sum(honest_trusts) / len(honest_trusts)) if honest_trusts else None,
+        frames_sent=network.medium.stats.frames_sent,
+        frames_delivered=network.medium.stats.frames_delivered,
+        events_processed=network.simulator.processed_events,
+    )
+
+
+def run_campaign(grid: CampaignGrid, workers: Optional[int] = None) -> CampaignResult:
+    """Execute every cell of ``grid`` and collect the results.
+
+    ``workers`` > 1 fans the cells out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; anything else runs
+    serially in-process.  Because each cell derives all randomness from its
+    own stable seed, the result — and the formatted report — is identical
+    whichever execution mode is used.
+    """
+    specs = grid.expand()
+    if workers is not None and workers > 1 and len(specs) > 1:
+        max_workers = min(workers, len(specs))
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            runs = list(executor.map(execute_spec, specs))
+    else:
+        runs = [execute_spec(spec) for spec in specs]
+    return CampaignResult(grid=grid, runs=runs)
+
+
+# ----------------------------------------------------------------- CLI
+def _csv_ints(raw: str) -> List[int]:
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _csv_floats(raw: str) -> List[float]:
+    return [float(part) for part in raw.split(",") if part.strip()]
+
+
+def _csv_strs(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.experiments.campaign`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign",
+        description="Run a declarative scenario campaign over the full MANET stack.",
+    )
+    parser.add_argument("--node-counts", type=_csv_ints, default=[16],
+                        metavar="N,N", help="comma-separated node counts (default: 16)")
+    parser.add_argument("--liar-fractions", type=_csv_floats, default=[0.25],
+                        metavar="F,F", help="liar fractions of the responders (default: 0.25)")
+    parser.add_argument("--loss", type=_csv_strs, default=["bernoulli:0.0"],
+                        metavar="KIND:P,...",
+                        help="loss models, e.g. bernoulli:0.2,distance:0.8 (default: bernoulli:0.0)")
+    parser.add_argument("--speeds", type=_csv_floats, default=[0.0],
+                        metavar="V,V", help="random-waypoint max speeds; 0 = static (default: 0)")
+    parser.add_argument("--variants", type=_csv_strs,
+                        default=[str(LinkSpoofingVariant.FALSE_EXISTING_LINK)],
+                        metavar="V,V",
+                        help="link-spoofing variants: " + ", ".join(v.value for v in LinkSpoofingVariant))
+    parser.add_argument("--repetitions", type=int, default=1,
+                        help="repetitions per cell with distinct stable seeds (default: 1)")
+    parser.add_argument("--seed", type=int, default=7, help="campaign base seed (default: 7)")
+    parser.add_argument("--warmup", type=float, default=35.0,
+                        help="OLSR convergence warm-up in simulated seconds (default: 35)")
+    parser.add_argument("--cycles", type=int, default=5,
+                        help="detection cycles per run (default: 5)")
+    parser.add_argument("--cycle-length", type=float, default=10.0,
+                        help="simulated seconds per detection cycle (default: 10)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; 1 = serial (default: 1)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        grid = CampaignGrid(
+            node_counts=args.node_counts,
+            liar_fractions=args.liar_fractions,
+            loss_models=args.loss,
+            max_speeds=args.speeds,
+            attack_variants=args.variants,
+            repetitions=args.repetitions,
+            base_seed=args.seed,
+            warmup=args.warmup,
+            cycles=args.cycles,
+            cycle_length=args.cycle_length,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    result = run_campaign(grid, workers=args.workers)
+    report = result.format_report()
+    print(report)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        except OSError as error:
+            print(f"error: cannot write report to {args.output}: {error}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.netsim.mobility import RandomWaypointMobility, UniformRandomPlacement
 from repro.netsim.network import Network
 from repro.olsr.constants import Willingness
 from repro.olsr.node import OlsrConfig
+from repro.seeding import stable_digest
 
 
 @dataclass
@@ -120,7 +121,7 @@ def _build_mobile_scenario(max_speed: float, seed: int, node_count: int,
     rng.shuffle(candidates)
     for liar_id in candidates[:liar_count]:
         scenario.add(liar_id, LiarBehavior(protected_suspects={attacker_id},
-                                           rng=random.Random(seed + hash(liar_id) % 997)))
+                                           rng=random.Random(seed + stable_digest(liar_id) % 997)))
     scenario.install_all(nodes)
 
     for node in nodes.values():

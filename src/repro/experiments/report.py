@@ -101,6 +101,48 @@ def format_trajectories(trajectories: Mapping[str, Sequence[float]],
     return "\n".join(lines)
 
 
+def aggregate_rows(rows: Sequence[Mapping[str, object]],
+                   group_by: Sequence[str],
+                   value_columns: Sequence[str],
+                   count_column: str = "runs") -> List[Dict[str, object]]:
+    """Group ``rows`` by the ``group_by`` columns and average ``value_columns``.
+
+    Non-numeric (or missing) values are skipped in the mean; each output row
+    carries the group key columns, the per-column means and a ``count_column``
+    with the group size.  Groups are emitted in sorted key order so repeated
+    aggregations of the same data are byte-identical — a property the
+    campaign runner's determinism check relies on.
+    """
+    groups: Dict[tuple, List[Mapping[str, object]]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in group_by)
+        groups.setdefault(key, []).append(row)
+
+    def sort_key(key: tuple):
+        # Numbers sort numerically, everything else lexicographically; the
+        # leading flag keeps mixed-type keys comparable.
+        return tuple(
+            (1, str(value)) if isinstance(value, bool) or not isinstance(value, (int, float))
+            else (0, value)
+            for value in key
+        )
+
+    aggregated: List[Dict[str, object]] = []
+    for key in sorted(groups, key=sort_key):
+        members = groups[key]
+        out: Dict[str, object] = dict(zip(group_by, key))
+        out[count_column] = len(members)
+        for column in value_columns:
+            values = [
+                row[column] for row in members
+                if isinstance(row.get(column), (int, float))
+                and not isinstance(row.get(column), bool)
+            ]
+            out[column] = sum(values) / len(values) if values else None
+        aggregated.append(out)
+    return aggregated
+
+
 def render_report(sections: Iterable[str]) -> str:
     """Join report sections with blank lines."""
     return "\n\n".join(section for section in sections if section)

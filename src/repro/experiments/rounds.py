@@ -25,6 +25,7 @@ from repro.attacks.liar import LiarBehavior
 from repro.core.decision import DecisionOutcome
 from repro.core.investigation import CooperativeInvestigator, OracleTransport, RoundResult
 from repro.experiments.config import ScenarioConfig
+from repro.seeding import stable_digest
 from repro.trust.manager import TrustManager
 from repro.trust.recommendation import RecommendationManager
 
@@ -177,7 +178,7 @@ class RoundBasedExperiment:
                 liar = LiarBehavior(
                     protected_suspects={self.attacker_id},
                     lie_probability=1.0,
-                    rng=random.Random(self.config.seed + hash(node_id) % 1000),
+                    rng=random.Random(self.config.seed + stable_digest(node_id) % 1000),
                 )
                 self._liar_behaviors[node_id] = liar
             self._responders[node_id] = _Responder(node_id, honest_answer, liar)

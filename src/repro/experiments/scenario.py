@@ -29,12 +29,23 @@ from repro.attacks.scenario import AttackScenario
 from repro.core.detector_node import DetectionConfig, DetectorNode
 from repro.core.investigation import RoundResult
 from repro.core.signatures import LinkSpoofingVariant
-from repro.netsim.medium import BernoulliLossModel, UnitDiskPropagation, WirelessMedium
-from repro.netsim.mobility import StaticPlacement, UniformRandomPlacement
+from repro.netsim.medium import (
+    BernoulliLossModel,
+    DistanceLossModel,
+    LossModel,
+    UnitDiskPropagation,
+    WirelessMedium,
+)
+from repro.netsim.mobility import (
+    RandomWaypointMobility,
+    StaticPlacement,
+    UniformRandomPlacement,
+)
 from repro.netsim.network import Network
 from repro.netsim.engine import Simulator
 from repro.olsr.constants import Willingness
 from repro.olsr.node import OlsrConfig
+from repro.seeding import stable_digest
 
 
 @dataclass
@@ -157,6 +168,20 @@ def build_canonical_scenario(
     return built
 
 
+def _build_loss_model(kind: str, loss_probability: float, radio_range: float,
+                      seed: int) -> LossModel:
+    """Instantiate the named loss model with a seed-derived RNG."""
+    if kind == "bernoulli":
+        return BernoulliLossModel(loss_probability, rng=random.Random(seed + 1))
+    if kind == "distance":
+        # loss_probability doubles as the distance model's max_loss, including
+        # an explicit 0.0 (a lossless distance channel).
+        return DistanceLossModel(radio_range=radio_range,
+                                 max_loss=max(loss_probability, 0.0),
+                                 rng=random.Random(seed + 1))
+    raise ValueError(f"unknown loss model {kind!r} (expected 'bernoulli' or 'distance')")
+
+
 def build_manet_scenario(
     node_count: int = 16,
     liar_count: int = 4,
@@ -166,6 +191,9 @@ def build_manet_scenario(
     loss_probability: float = 0.0,
     attack_start: float = 40.0,
     detection_config: Optional[DetectionConfig] = None,
+    attack_variant: LinkSpoofingVariant = LinkSpoofingVariant.FALSE_EXISTING_LINK,
+    loss_model: str = "bernoulli",
+    max_speed: float = 0.0,
 ) -> SimulationScenario:
     """Build an ``node_count``-node random MANET with one attacker and liars.
 
@@ -173,6 +201,12 @@ def build_manet_scenario(
     liar nodes protect it during investigations.  The victim is the node with
     the most neighbours among the attacker's neighbours (so an investigation
     is actually possible).
+
+    ``attack_variant`` selects the link-spoofing expression (1–3),
+    ``loss_model`` names the channel model (``"bernoulli"`` or
+    ``"distance"``), and a positive ``max_speed`` switches the placement to
+    random-waypoint mobility at that speed — the three axes the scenario
+    campaign (:mod:`repro.experiments.campaign`) sweeps.
     """
     if node_count < 4:
         raise ValueError("a MANET scenario needs at least 4 nodes")
@@ -184,13 +218,21 @@ def build_manet_scenario(
     medium = WirelessMedium(
         simulator,
         propagation=UnitDiskPropagation(radio_range=radio_range),
-        loss_model=BernoulliLossModel(loss_probability, rng=random.Random(seed + 1)),
+        loss_model=_build_loss_model(loss_model, loss_probability, radio_range, seed),
     )
+    if max_speed > 0.0:
+        mobility = RandomWaypointMobility(
+            width=area_size, height=area_size,
+            min_speed=max(0.5, max_speed / 4.0), max_speed=max_speed,
+            pause_time=2.0, rng=random.Random(seed + 2),
+        )
+    else:
+        mobility = UniformRandomPlacement(width=area_size, height=area_size,
+                                          rng=random.Random(seed + 2))
     network = Network(
         simulator=simulator,
         medium=medium,
-        mobility=UniformRandomPlacement(width=area_size, height=area_size,
-                                        rng=random.Random(seed + 2)),
+        mobility=mobility,
         seed=seed,
     )
     node_ids = [f"n{i:02d}" for i in range(node_count)]
@@ -217,16 +259,24 @@ def build_manet_scenario(
             key=lambda nid: (len(network.neighbors_of(nid)), nid),
         )
 
-    # Spoof links toward nodes that are not the attacker's radio neighbours.
-    non_neighbors = [
-        nid for nid in node_ids
-        if nid not in attacker_neighbors and nid not in (attacker_id, victim_id)
-    ]
-    rng.shuffle(non_neighbors)
-    spoof_targets = non_neighbors[: max(3, node_count // 3)] or [f"phantom{seed}"]
+    # Pick targets matching the spoofing expression: phantom addresses for
+    # variant 1, existing non-neighbours for variant 2, real neighbours
+    # (other than the victim) for variant 3.
+    if attack_variant == LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR:
+        spoof_targets = [f"phantom{seed}-{i}" for i in range(max(3, node_count // 3))]
+    elif attack_variant == LinkSpoofingVariant.OMITTED_NEIGHBOR:
+        omittable = sorted(nid for nid in attacker_neighbors if nid != victim_id)
+        spoof_targets = omittable[: max(1, len(omittable) // 2)] or [victim_id]
+    else:
+        non_neighbors = [
+            nid for nid in node_ids
+            if nid not in attacker_neighbors and nid not in (attacker_id, victim_id)
+        ]
+        rng.shuffle(non_neighbors)
+        spoof_targets = non_neighbors[: max(3, node_count // 3)] or [f"phantom{seed}"]
 
     attack = LinkSpoofingAttack(
-        variant=LinkSpoofingVariant.FALSE_EXISTING_LINK,
+        variant=attack_variant,
         target_addresses=spoof_targets,
     )
     attack.schedule.start_time = attack_start
@@ -239,7 +289,7 @@ def build_manet_scenario(
     liar_ids = set(candidates[:liar_count])
     for liar_id in sorted(liar_ids):
         liar = LiarBehavior(protected_suspects={attacker_id},
-                            rng=random.Random(seed + hash(liar_id) % 997))
+                            rng=random.Random(seed + stable_digest(liar_id) % 997))
         scenario.add(liar_id, liar)
 
     scenario.install_all(nodes)

@@ -6,7 +6,9 @@ the intrusion-detection experiments run:
 * :mod:`repro.netsim.engine` — a deterministic discrete-event engine.
 * :mod:`repro.netsim.packet` — the link-layer frame model.
 * :mod:`repro.netsim.medium` — wireless broadcast medium with configurable
-  propagation, loss and collision models.
+  propagation, loss and collision models, served by a spatial neighbour
+  index (uniform grid, position-epoch invalidation) so neighbourhood
+  queries and broadcast candidate selection cost O(neighbours), not O(N).
 * :mod:`repro.netsim.mobility` — node placement and mobility models.
 * :mod:`repro.netsim.network` — container wiring nodes, medium and engine.
 * :mod:`repro.netsim.stats` — transmission statistics.
@@ -21,6 +23,7 @@ depends on (broadcast neighbourhoods, lost answers, asymmetric links).
 
 from repro.netsim.engine import Event, EventHandle, Simulator
 from repro.netsim.medium import (
+    AsymmetricRangePropagation,
     BernoulliLossModel,
     CollisionModel,
     CompositeLossModel,
@@ -38,12 +41,13 @@ from repro.netsim.mobility import (
     StaticPlacement,
     UniformRandomPlacement,
 )
-from repro.netsim.network import Network, NetworkInterface
+from repro.netsim.network import Network, NetworkInterface, PositionTable
 from repro.netsim.packet import BROADCAST_ADDRESS, Frame
 from repro.netsim.stats import MediumStatistics
 from repro.netsim.trace import TraceEvent, TraceRecorder
 
 __all__ = [
+    "AsymmetricRangePropagation",
     "BROADCAST_ADDRESS",
     "BernoulliLossModel",
     "CollisionModel",
@@ -58,6 +62,7 @@ __all__ = [
     "Network",
     "NetworkInterface",
     "PerfectChannel",
+    "PositionTable",
     "PropagationModel",
     "RandomWalkMobility",
     "RandomWaypointMobility",

@@ -184,7 +184,11 @@ class Simulator:
         ----------
         until:
             Stop once the next event would occur strictly after this time.
-            The clock is advanced to ``until`` when provided.
+            The clock is advanced to ``until`` only when no pending event at
+            or before ``until`` remains — i.e. not when the loop exits early
+            via :meth:`stop` or the ``max_events`` cap, which would otherwise
+            leave events scheduled in the (now skipped) past and make a
+            subsequent ``run`` execute them at ``event.time < now``.
         max_events:
             Safety cap on the number of executed events.
         """
@@ -208,7 +212,9 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
             if until is not None and self._now < until:
-                self._now = until
+                next_time = self.peek_next_time()
+                if next_time is None or next_time > until:
+                    self._now = until
         finally:
             self._running = False
 

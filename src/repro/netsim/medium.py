@@ -9,6 +9,21 @@ The medium implements an idealised single-channel broadcast radio:
 * An optional :class:`CollisionModel` drops frames whose on-air intervals
   overlap at a receiver, modelling the "high level of collisions" mentioned
   in the paper's Section IV-C.
+
+Spatial fast path
+-----------------
+Broadcast candidate selection, :meth:`WirelessMedium.neighbors_of` and
+:meth:`WirelessMedium.connectivity_matrix` are served from a uniform spatial
+grid (:class:`_SpatialGrid`) hashed by cell, so each query costs
+O(neighbours) instead of O(N) over all registered interfaces.  The grid and
+the per-node neighbour cache are invalidated through a *position epoch*: the
+:class:`repro.netsim.network.Network` exposes a counter that is bumped every
+time a node position changes (``set_position``, the mobility models, node
+arrival/departure) and the medium rebuilds its index lazily whenever the
+epoch it cached no longer matches.  When no epoch oracle is bound (bare
+position callables, as used by some unit tests) or the propagation model has
+no finite radio range, the medium transparently falls back to the brute-force
+scan, so correctness never depends on the index.
 """
 
 from __future__ import annotations
@@ -16,7 +31,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.netsim.packet import Frame
 from repro.netsim.stats import MediumStatistics
@@ -60,7 +75,6 @@ class AsymmetricRangePropagation:
 
     default_range: float = 250.0
     per_node_range: Dict[str, float] = field(default_factory=dict)
-    _positions_to_node: Dict[Position, str] = field(default_factory=dict)
 
     def register(self, node_id: str, tx_range: float) -> None:
         """Assign ``tx_range`` to ``node_id``."""
@@ -71,6 +85,11 @@ class AsymmetricRangePropagation:
         if node_id is None:
             return self.default_range
         return self.per_node_range.get(node_id, self.default_range)
+
+    def max_range(self) -> float:
+        """Largest transmit range any node can have under this model."""
+        per_node = max(self.per_node_range.values(), default=0.0)
+        return max(self.default_range, per_node)
 
     def in_range(self, sender: Position, receiver: Position) -> bool:
         # Without a node id the model degrades to the default range;
@@ -103,10 +122,15 @@ class PerfectChannel:
 
 @dataclass
 class BernoulliLossModel:
-    """Drop each frame independently with probability ``loss_probability``."""
+    """Drop each frame independently with probability ``loss_probability``.
+
+    The default ``rng`` is seeded so that two runs built without an explicit
+    generator draw the same loss sequence; pass your own ``random.Random``
+    to decorrelate several models.
+    """
 
     loss_probability: float = 0.0
-    rng: random.Random = field(default_factory=random.Random)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability <= 1.0:
@@ -124,13 +148,14 @@ class DistanceLossModel:
 
     ``p_loss = min(max_loss, (d / radio_range) ** exponent * max_loss)``.
     Within a fraction ``reliable_fraction`` of the range, delivery is perfect.
+    The default ``rng`` is seeded for run-to-run determinism.
     """
 
     radio_range: float = 250.0
     max_loss: float = 0.8
     exponent: float = 2.0
     reliable_fraction: float = 0.5
-    rng: random.Random = field(default_factory=random.Random)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
 
     def loss_probability(self, d: float) -> float:
         """Loss probability at distance ``d``."""
@@ -162,7 +187,9 @@ class CollisionModel:
 
     Two frames collide at a receiver when their on-air intervals overlap.  The
     on-air duration of a frame is ``size_bytes * 8 / bitrate``.  Both
-    overlapping frames are dropped at that receiver (no capture effect).
+    overlapping frames are dropped at that receiver (no capture effect): the
+    later arrival is never scheduled and the earlier frame's pending delivery
+    is cancelled.
     """
 
     bitrate_bps: float = 2_000_000.0
@@ -178,6 +205,55 @@ class CollisionModel:
         return start_a < end_b and start_b < end_a
 
 
+class _BusyEntry:
+    """One on-air interval at a receiver, plus its pending delivery event."""
+
+    __slots__ = ("start", "end", "frame_id", "handle", "delivered")
+
+    def __init__(self, start: float, end: float, frame_id: int) -> None:
+        self.start = start
+        self.end = end
+        self.frame_id = frame_id
+        self.handle = None  # EventHandle of the scheduled delivery (if any)
+        self.delivered = False
+
+
+# --------------------------------------------------------------------------
+# Spatial index
+# --------------------------------------------------------------------------
+class _SpatialGrid:
+    """Uniform grid over node positions, hashed by integer cell coordinates.
+
+    ``cell_size`` is the maximum radio range of the propagation model, so any
+    receiver a sender can reach lies within one cell ring of the sender's
+    cell; :meth:`candidates_near` therefore returns a conservative superset
+    of the true neighbourhood in O(neighbours).
+    """
+
+    __slots__ = ("cell_size", "positions", "cells")
+
+    def __init__(self, cell_size: float, positions: Dict[str, Position]) -> None:
+        self.cell_size = cell_size
+        self.positions = positions
+        self.cells: Dict[Tuple[int, int], List[str]] = {}
+        for node_id, (x, y) in positions.items():
+            key = (math.floor(x / cell_size), math.floor(y / cell_size))
+            self.cells.setdefault(key, []).append(node_id)
+
+    def candidates_near(self, origin: Position, radius: float) -> List[str]:
+        """All node ids whose cell may contain points within ``radius`` of ``origin``."""
+        cx = math.floor(origin[0] / self.cell_size)
+        cy = math.floor(origin[1] / self.cell_size)
+        reach = max(1, math.ceil(radius / self.cell_size))
+        out: List[str] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                bucket = self.cells.get((cx + dx, cy + dy))
+                if bucket:
+                    out.extend(bucket)
+        return out
+
+
 # --------------------------------------------------------------------------
 # The medium itself
 # --------------------------------------------------------------------------
@@ -186,7 +262,12 @@ class WirelessMedium:
 
     The medium needs a position oracle (callable ``node_id -> (x, y)``) which
     the :class:`repro.netsim.network.Network` provides, so mobility models can
-    move nodes without the medium keeping stale coordinates.
+    move nodes without the medium keeping stale coordinates.  When the network
+    additionally provides an *epoch oracle* (callable returning an int bumped
+    on every position change), neighbourhood queries and broadcast candidate
+    selection run through a cached spatial grid instead of scanning all N
+    interfaces; set ``use_spatial_index=False`` to force the brute-force scan
+    (used by the scaling benchmarks as the comparison baseline).
     """
 
     def __init__(
@@ -198,6 +279,7 @@ class WirelessMedium:
         propagation_delay: float = 1e-4,
         jitter: float = 0.0,
         rng: Optional[random.Random] = None,
+        use_spatial_index: bool = True,
     ) -> None:
         self._simulator = simulator
         self.propagation = propagation or UnitDiskPropagation()
@@ -208,35 +290,116 @@ class WirelessMedium:
         self._rng = rng or random.Random(0)
         self._interfaces: Dict[str, object] = {}
         self._position_of = None  # set by Network
+        self._position_epoch_of: Optional[Callable[[], int]] = None
+        self.use_spatial_index = use_spatial_index
+        self._membership_epoch = 0  # bumped on register/unregister
+        self._grid: Optional[_SpatialGrid] = None
+        self._grid_key: Optional[Tuple[object, ...]] = None
+        self._order: Dict[str, int] = {}
+        self._neighbor_cache: Dict[str, List[str]] = {}
         self.stats = MediumStatistics()
-        # receiver id -> list of (start, end) on-air intervals (for collisions)
-        self._busy: Dict[str, List[Tuple[float, float, int]]] = {}
+        # receiver id -> list of busy entries (for collisions)
+        self._busy: Dict[str, List[_BusyEntry]] = {}
 
     # ------------------------------------------------------------- wiring
-    def bind_position_oracle(self, oracle) -> None:
-        """Install the callable used to resolve current node positions."""
+    def bind_position_oracle(self, oracle, epoch_oracle: Optional[Callable[[], int]] = None) -> None:
+        """Install the callable used to resolve current node positions.
+
+        ``epoch_oracle``, when provided, must return a counter that changes
+        whenever any position changes; it gates the spatial-index cache.
+        Without it the medium always falls back to the brute-force scan.
+        """
         self._position_of = oracle
+        self._position_epoch_of = epoch_oracle
+        self._grid = None
+        self._grid_key = None
+        self._neighbor_cache = {}
 
     def register(self, node_id: str, interface) -> None:
         """Register a receiving interface (must expose ``receive(frame, now)``)."""
         if node_id in self._interfaces:
             raise ValueError(f"interface {node_id!r} already registered")
         self._interfaces[node_id] = interface
+        self._membership_epoch += 1
 
     def unregister(self, node_id: str) -> None:
         """Remove an interface (node failure / departure)."""
-        self._interfaces.pop(node_id, None)
+        if self._interfaces.pop(node_id, None) is not None:
+            self._membership_epoch += 1
 
     @property
     def node_ids(self) -> List[str]:
         """Identifiers of all registered interfaces."""
         return list(self._interfaces)
 
+    # ----------------------------------------------------------- fast path
+    def _max_propagation_range(self) -> Optional[float]:
+        """Largest sender range under the propagation model, or None if unknown."""
+        prop = self.propagation
+        if isinstance(prop, AsymmetricRangePropagation):
+            candidate = prop.max_range()
+        else:
+            candidate = getattr(prop, "radio_range", None)
+        if isinstance(candidate, (int, float)) and math.isfinite(candidate) and candidate > 0:
+            return float(candidate)
+        return None
+
+    def _range_of_sender(self, sender_id: str) -> float:
+        prop = self.propagation
+        if isinstance(prop, AsymmetricRangePropagation):
+            return prop.range_of(sender_id)
+        return float(getattr(prop, "radio_range"))
+
+    def _current_grid(self) -> Optional[_SpatialGrid]:
+        """The up-to-date spatial grid, or None when the fast path is off."""
+        if not self.use_spatial_index or self._position_epoch_of is None or self._position_of is None:
+            return None
+        cell_size = self._max_propagation_range()
+        if cell_size is None:
+            return None
+        # Per-node range edits (AsymmetricRangePropagation.register) change
+        # query answers without moving anyone, so they must be part of the key.
+        prop = self.propagation
+        if isinstance(prop, AsymmetricRangePropagation):
+            range_fingerprint: object = tuple(sorted(prop.per_node_range.items()))
+        else:
+            range_fingerprint = None
+        key = (self._position_epoch_of(), self._membership_epoch, cell_size,
+               range_fingerprint)
+        if self._grid is None or self._grid_key != key:
+            position_of = self._position_of
+            positions = {nid: position_of(nid) for nid in self._interfaces}
+            self._grid = _SpatialGrid(cell_size, positions)
+            self._grid_key = key
+            self._order = {nid: index for index, nid in enumerate(self._interfaces)}
+            self._neighbor_cache = {}
+        return self._grid
+
     # ------------------------------------------------------------ querying
     def neighbors_of(self, node_id: str) -> List[str]:
         """Node ids currently within radio range of ``node_id``."""
         if self._position_of is None:
             raise RuntimeError("medium has no position oracle bound")
+        grid = self._current_grid()
+        if grid is None:
+            return self._neighbors_brute_force(node_id)
+        cached = self._neighbor_cache.get(node_id)
+        if cached is not None:
+            return list(cached)
+        origin = grid.positions.get(node_id)
+        if origin is None:
+            origin = self._position_of(node_id)
+        candidates = grid.candidates_near(origin, self._range_of_sender(node_id))
+        candidates.sort(key=self._order.__getitem__)
+        result = [
+            other
+            for other in candidates
+            if other != node_id and self._reaches(node_id, origin, grid.positions[other])
+        ]
+        self._neighbor_cache[node_id] = result
+        return list(result)
+
+    def _neighbors_brute_force(self, node_id: str) -> List[str]:
         origin = self._position_of(node_id)
         result = []
         for other in self._interfaces:
@@ -270,7 +433,15 @@ class WirelessMedium:
         self.stats.bytes_sent += frame.size_bytes
 
         if frame.is_broadcast:
-            receivers = [nid for nid in self._interfaces if nid != frame.source]
+            grid = self._current_grid()
+            if grid is not None:
+                candidates = grid.candidates_near(sender_pos, self._range_of_sender(frame.source))
+                receivers = [nid for nid in candidates if nid != frame.source]
+                receivers.sort(key=self._order.__getitem__)
+                # Anything outside the candidate cells is provably out of range.
+                self.stats.frames_out_of_range += len(self._interfaces) - 1 - len(receivers)
+            else:
+                receivers = [nid for nid in self._interfaces if nid != frame.source]
         else:
             receivers = [frame.destination] if frame.destination in self._interfaces else []
             if not receivers:
@@ -285,27 +456,54 @@ class WirelessMedium:
             if self.loss_model.is_lost(frame, sender_pos, receiver_pos):
                 self.stats.frames_lost += 1
                 continue
-            if self.collision_model is not None and self._collides(receiver_id, frame, now):
-                self.stats.frames_collided += 1
-                continue
+            entry: Optional[_BusyEntry] = None
+            if self.collision_model is not None:
+                entry, collided = self._check_collision(receiver_id, frame, now)
+                if collided:
+                    self.stats.frames_collided += 1
+                    continue
             delay = self.propagation_delay
             if self.jitter:
                 delay += self._rng.uniform(0.0, self.jitter)
-            self._simulator.schedule(delay, self._deliver, receiver_id, frame)
+            handle = self._simulator.schedule(delay, self._deliver, receiver_id, frame, entry)
+            if entry is not None:
+                entry.handle = handle
 
-    def _collides(self, receiver_id: str, frame: Frame, now: float) -> bool:
+    def _check_collision(
+        self, receiver_id: str, frame: Frame, now: float
+    ) -> Tuple[_BusyEntry, bool]:
+        """Record ``frame``'s on-air interval; detect and resolve overlaps.
+
+        Both frames of an overlapping pair are dropped: the new frame is
+        reported as collided to the caller, and any earlier frame still
+        awaiting delivery has its delivery event cancelled here.
+        """
         model = self.collision_model
         assert model is not None
         airtime = model.airtime(frame)
-        start, end = now, now + airtime
+        entry = _BusyEntry(now, now + airtime, frame.frame_id)
         intervals = self._busy.setdefault(receiver_id, [])
         # prune stale intervals
-        intervals[:] = [iv for iv in intervals if iv[1] > now - 1.0]
-        collided = any(model.overlaps(start, end, s, e) for s, e, _ in intervals)
-        intervals.append((start, end, frame.frame_id))
-        return collided
+        intervals[:] = [iv for iv in intervals if iv.end > now - 1.0]
+        collided = False
+        for other in intervals:
+            if not model.overlaps(entry.start, entry.end, other.start, other.end):
+                continue
+            collided = True
+            if (
+                other.handle is not None
+                and not other.delivered
+                and not other.handle.cancelled
+            ):
+                other.handle.cancel()
+                other.handle = None
+                self.stats.frames_collided += 1
+        intervals.append(entry)
+        return entry, collided
 
-    def _deliver(self, receiver_id: str, frame: Frame) -> None:
+    def _deliver(self, receiver_id: str, frame: Frame, entry: Optional[_BusyEntry] = None) -> None:
+        if entry is not None:
+            entry.delivered = True
         interface = self._interfaces.get(receiver_id)
         if interface is None:
             self.stats.frames_unroutable += 1

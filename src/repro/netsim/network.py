@@ -20,6 +20,45 @@ from repro.netsim.trace import TraceRecorder
 Position = Tuple[float, float]
 
 
+class PositionTable(Dict[str, Position]):
+    """Node-position mapping that counts its mutations.
+
+    The wireless medium caches a spatial index over node positions; every
+    write to this table (teleports via :meth:`Network.set_position`, the
+    periodic mobility-model updates, node arrival/departure) bumps ``epoch``,
+    which the medium polls to invalidate that cache lazily.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.epoch = 0
+
+    def __setitem__(self, key: str, value: Position) -> None:
+        super().__setitem__(key, value)
+        self.epoch += 1
+
+    def __delitem__(self, key: str) -> None:
+        super().__delitem__(key)
+        self.epoch += 1
+
+    def pop(self, key, *default):
+        self.epoch += 1
+        return super().pop(key, *default)
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self.epoch += 1
+
+    def clear(self) -> None:
+        super().clear()
+        self.epoch += 1
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self.epoch += 1
+        return super().setdefault(key, default)
+
+
 class FrameReceiver(Protocol):
     """Anything able to accept frames from the medium."""
 
@@ -113,15 +152,24 @@ class Network:
             propagation=UnitDiskPropagation(),
             loss_model=PerfectChannel(),
         )
-        self.medium.bind_position_oracle(self.position_of)
+        self.positions: PositionTable = PositionTable()
+        self.medium.bind_position_oracle(self.position_of, self._position_epoch)
         self.mobility = mobility or GridPlacement()
-        self.positions: Dict[str, Position] = {}
         self.interfaces: Dict[str, NetworkInterface] = {}
         self.nodes: Dict[str, object] = {}
         self.trace = TraceRecorder()
         self._mobility_installed = False
 
     # ------------------------------------------------------------ topology
+    def _position_epoch(self) -> int:
+        """Counter bumped on every position change (spatial-index invalidation)."""
+        return self.positions.epoch
+
+    @property
+    def position_epoch(self) -> int:
+        """Current position epoch (exposed for tests and diagnostics)."""
+        return self.positions.epoch
+
     def position_of(self, node_id: str) -> Position:
         """Current coordinates of ``node_id``."""
         try:

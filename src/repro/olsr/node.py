@@ -38,6 +38,7 @@ from repro.olsr.constants import (
     Willingness,
 )
 from repro.olsr.association import HnaAssociationSet, InterfaceAssociationSet
+from repro.seeding import stable_digest
 from repro.olsr.duplicate import DuplicateSet
 from repro.olsr.link_state import (
     LinkSet,
@@ -117,7 +118,7 @@ class OlsrNode:
         self.simulator = network.simulator
         self.config = config or OlsrConfig()
         self.log = log_store or LogStore(node_id)
-        self.rng = random.Random(seed if seed is not None else hash(node_id) & 0xFFFF)
+        self.rng = random.Random(seed if seed is not None else stable_digest(node_id) & 0xFFFF)
         self.stats = NodeStatistics()
 
         # Information repositories (RFC §4).

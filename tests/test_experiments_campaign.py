@@ -1,0 +1,167 @@
+"""Tests for the scenario-campaign runner and its determinism guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignGrid,
+    CampaignSpec,
+    _parse_loss,
+    build_parser,
+    execute_spec,
+    main,
+    run_campaign,
+)
+from repro.experiments.report import aggregate_rows
+from repro.seeding import stable_digest, stable_seed
+
+
+# ------------------------------------------------------------------ seeding
+def test_stable_digest_is_process_independent_known_values():
+    # CRC32 values are fixed by the algorithm, not by PYTHONHASHSEED.
+    assert stable_digest("n00") == 1150761319
+    assert stable_digest("n07") == 3673402564
+
+
+def test_stable_seed_distinct_per_label_and_repeatable():
+    seeds = {stable_seed(7, f"cell-{i}") for i in range(50)}
+    assert len(seeds) == 50
+    assert stable_seed(7, "cell-3") == stable_seed(7, "cell-3")
+    assert stable_seed(7, "cell-3") != stable_seed(8, "cell-3")
+
+
+# --------------------------------------------------------------------- grid
+def test_grid_expands_full_cross_product_with_stable_seeds():
+    grid = CampaignGrid(
+        node_counts=(8, 16),
+        liar_fractions=(0.0, 0.25),
+        loss_models=("bernoulli:0.0", "bernoulli:0.2"),
+        max_speeds=(0.0, 5.0),
+        repetitions=1,
+        base_seed=7,
+    )
+    specs = grid.expand()
+    assert grid.size() == 16
+    assert len(specs) == 16
+    assert len({spec.run_id for spec in specs}) == 16
+    assert specs == grid.expand()  # expansion is deterministic
+    assert specs == sorted(specs, key=lambda s: s.run_id)
+    for spec in specs:
+        assert spec.seed == stable_seed(7, spec.run_id)
+
+
+def test_grid_repetitions_get_distinct_seeds():
+    grid = CampaignGrid(node_counts=(8,), liar_fractions=(0.0,), repetitions=3)
+    specs = grid.expand()
+    assert len(specs) == 3
+    assert len({spec.seed for spec in specs}) == 3
+
+
+def test_grid_validates_axes():
+    with pytest.raises(ValueError):
+        CampaignGrid(liar_fractions=(1.5,))
+    with pytest.raises(ValueError):
+        CampaignGrid(loss_models=("gaussian:0.1",))
+    with pytest.raises(ValueError):
+        CampaignGrid(attack_variants=("no_such_variant",))
+    with pytest.raises(ValueError):
+        CampaignGrid(repetitions=0)
+
+
+def test_parse_loss_entries():
+    assert _parse_loss("bernoulli:0.2") == ("bernoulli", 0.2)
+    assert _parse_loss("distance:0.8") == ("distance", 0.8)
+    assert _parse_loss("bernoulli") == ("bernoulli", 0.0)
+    with pytest.raises(ValueError):
+        _parse_loss("bernoulli:1.5")
+
+
+def test_spec_liar_count_scales_with_responders():
+    spec = CampaignSpec(run_id="x", seed=1, node_count=10, liar_fraction=0.25,
+                        loss_model="bernoulli", loss_probability=0.0,
+                        max_speed=0.0, attack_variant="false_existing_link")
+    assert spec.liar_count() == 2  # 25 % of 8 responders
+
+
+# ---------------------------------------------------------------- execution
+def _tiny_grid(**overrides) -> CampaignGrid:
+    settings = dict(
+        node_counts=(8,),
+        liar_fractions=(0.0, 0.25),
+        loss_models=("bernoulli:0.0",),
+        max_speeds=(0.0,),
+        base_seed=7,
+        warmup=20.0,
+        cycles=1,
+    )
+    settings.update(overrides)
+    return CampaignGrid(**settings)
+
+
+def test_execute_spec_produces_metrics():
+    spec = _tiny_grid().expand()[0]
+    result = execute_spec(spec)
+    assert result.spec is spec
+    assert result.frames_sent > 0
+    assert result.events_processed > 0
+    row = result.as_row()
+    assert row["run_id"] == spec.run_id
+    assert row["nodes"] == 8
+
+
+def test_run_campaign_serial_is_deterministic():
+    first = run_campaign(_tiny_grid())
+    second = run_campaign(_tiny_grid())
+    assert first.format_report() == second.format_report()
+    assert first.as_rows() == second.as_rows()
+
+
+def test_run_campaign_parallel_matches_serial():
+    serial = run_campaign(_tiny_grid())
+    parallel = run_campaign(_tiny_grid(), workers=2)
+    assert parallel.format_report() == serial.format_report()
+
+
+def test_campaign_aggregate_groups_rows():
+    result = run_campaign(_tiny_grid())
+    aggregate = result.aggregate(("variant", "liar_fraction"))
+    assert len(aggregate) == 2
+    assert all(row["runs"] == 1 for row in aggregate)
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_two_invocations_byte_identical(tmp_path, capsys):
+    argv = ["--node-counts", "8", "--liar-fractions", "0.0,0.25",
+            "--loss", "bernoulli:0.0", "--speeds", "0",
+            "--warmup", "20", "--cycles", "1"]
+    outputs = []
+    for name in ("a.txt", "b.txt"):
+        path = tmp_path / name
+        assert main(argv + ["--output", str(path)]) == 0
+        outputs.append(path.read_bytes())
+    assert outputs[0] == outputs[1]
+    assert b"Campaign" in outputs[0]
+    capsys.readouterr()  # swallow the printed reports
+
+
+def test_cli_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.node_counts == [16]
+    assert args.workers == 1
+    assert args.loss == ["bernoulli:0.0"]
+
+
+# ---------------------------------------------------------------- reporting
+def test_aggregate_rows_means_and_sorting():
+    rows = [
+        {"group": "b", "value": 2.0, "flag": True},
+        {"group": "a", "value": 1.0, "flag": False},
+        {"group": "b", "value": 4.0, "flag": True},
+        {"group": "a", "value": None, "flag": False},
+    ]
+    aggregated = aggregate_rows(rows, ("group",), ("value",))
+    assert [row["group"] for row in aggregated] == ["a", "b"]
+    assert aggregated[0]["runs"] == 2
+    assert aggregated[0]["value"] == 1.0  # None skipped
+    assert aggregated[1]["value"] == 3.0

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.attacks.liar import LiarBehavior
 from repro.experiments.scenario import build_manet_scenario
 
 
@@ -90,3 +93,64 @@ def test_build_validation():
         build_manet_scenario(node_count=3)
     with pytest.raises(ValueError):
         build_manet_scenario(node_count=8, liar_count=7)
+
+
+def test_same_seed_builds_identical_liar_rngs():
+    """Regression: liar RNGs were seeded with the process-salted ``hash()``,
+    so liar behaviour differed between interpreter runs.  With the stable
+    CRC32 digest, two builds with the same seed draw identical sequences.
+    """
+    def liar_draws(scenario):
+        draws = {}
+        for liar_id in sorted(scenario.liar_ids):
+            attacks = scenario.attack_scenario.attacks_by_node[liar_id]
+            liar = next(a for a in attacks if isinstance(a, LiarBehavior))
+            draws[liar_id] = [liar.rng.random() for _ in range(16)]
+        return draws
+
+    first = build_manet_scenario(node_count=12, liar_count=3, seed=23)
+    second = build_manet_scenario(node_count=12, liar_count=3, seed=23)
+    assert first.liar_ids == second.liar_ids
+    assert liar_draws(first) == liar_draws(second)
+
+
+def test_liar_rng_seeds_use_stable_digest():
+    """The CRC32 offsets themselves are fixed constants, not hash-salted."""
+    from repro.seeding import stable_digest
+
+    scenario = build_manet_scenario(node_count=12, liar_count=3, seed=23)
+    for liar_id in scenario.liar_ids:
+        attacks = scenario.attack_scenario.attacks_by_node[liar_id]
+        liar = next(a for a in attacks if isinstance(a, LiarBehavior))
+        expected = random.Random(23 + stable_digest(liar_id) % 997)
+        assert liar.rng.random() == expected.random()
+
+
+def test_build_manet_scenario_campaign_axes():
+    """The campaign axes (variant, loss model, mobility) build working scenarios."""
+    from repro.core.signatures import LinkSpoofingVariant
+
+    phantom = build_manet_scenario(
+        node_count=8, liar_count=1, seed=5,
+        attack_variant=LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR)
+    attack = phantom.attack_scenario.attacks_by_node[phantom.attacker_id][0]
+    assert attack.variant == LinkSpoofingVariant.NON_EXISTENT_NEIGHBOR
+    assert all(target.startswith("phantom") for target in attack.target_addresses)
+
+    omitted = build_manet_scenario(
+        node_count=8, liar_count=1, seed=5,
+        attack_variant=LinkSpoofingVariant.OMITTED_NEIGHBOR)
+    attack = omitted.attack_scenario.attacks_by_node[omitted.attacker_id][0]
+    assert attack.variant == LinkSpoofingVariant.OMITTED_NEIGHBOR
+
+    mobile = build_manet_scenario(node_count=8, liar_count=1, seed=5, max_speed=4.0,
+                                  loss_model="distance", loss_probability=0.6)
+    from repro.netsim.medium import DistanceLossModel
+    from repro.netsim.mobility import RandomWaypointMobility
+    assert isinstance(mobile.network.medium.loss_model, DistanceLossModel)
+    assert isinstance(mobile.network.mobility, RandomWaypointMobility)
+    mobile.warm_up(5.0)  # moves nodes; must not crash the spatial index
+    assert mobile.network.medium.stats.frames_sent > 0
+
+    with pytest.raises(ValueError):
+        build_manet_scenario(node_count=8, loss_model="gaussian")

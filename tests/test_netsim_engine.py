@@ -203,3 +203,43 @@ def test_events_can_schedule_more_events():
     sim.run()
     assert seen == [0, 1, 2, 3]
     assert sim.now == 4.0
+
+
+def test_stop_does_not_jump_clock_past_pending_events():
+    """Regression: run(until=...) interrupted by stop() must not advance the
+    clock beyond events still pending before ``until`` — doing so made a
+    subsequent run execute events at event.time < now (time moving backwards).
+    """
+    sim = Simulator()
+    times = []
+
+    def stopper():
+        times.append(sim.now)
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, lambda: times.append(sim.now))
+    sim.run(until=10.0)
+    assert sim.now == 1.0  # not jumped to 10.0
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0]
+    assert sim.now == 10.0
+
+
+def test_max_events_does_not_jump_clock_past_pending_events():
+    sim = Simulator()
+    times = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, times.append, t)
+    sim.run(until=5.0, max_events=1)
+    assert sim.now == 1.0
+    sim.run(until=5.0)
+    assert times == [1.0, 2.0, 3.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_still_advances_clock_when_drained():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0

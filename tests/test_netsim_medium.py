@@ -244,3 +244,54 @@ def test_frame_copy_for_preserves_payload_and_changes_id():
     assert copy.payload is frame.payload
     assert copy.size_bytes == 99
     assert copy.frame_id != frame.frame_id
+
+
+def test_collision_drops_both_overlapping_frames():
+    """The documented semantics: *both* frames of an overlapping pair are
+    dropped at the receiver — the earlier frame's already-scheduled delivery
+    is cancelled, not just the later arrival.
+    """
+    # a and b cannot hear each other; r hears both.
+    positions = {"a": (0, 0), "b": (400, 0), "r": (200, 0)}
+    sim, medium, sinks = build_medium(
+        positions, collision_model=CollisionModel(bitrate_bps=1_000))
+    medium.transmit(Frame(source="a", destination=BROADCAST_ADDRESS, payload="x", size_bytes=500))
+    medium.transmit(Frame(source="b", destination=BROADCAST_ADDRESS, payload="y", size_bytes=500))
+    sim.run()
+    assert len(sinks["r"].received) == 0
+    assert medium.stats.frames_collided == 2
+    assert medium.stats.frames_delivered == 0
+
+
+def test_collision_does_not_retract_already_delivered_frame():
+    """A frame delivered before the overlapping transmission starts stays
+    delivered; only the newcomer is dropped (and counted) then.
+    """
+    positions = {"a": (0, 0), "b": (400, 0), "r": (200, 0)}
+    sim, medium, sinks = build_medium(
+        positions, collision_model=CollisionModel(bitrate_bps=1_000))
+    # Airtime of 500 bytes at 1 kbit/s is 4 s; delivery happens after 0.1 ms.
+    medium.transmit(Frame(source="a", destination=BROADCAST_ADDRESS, payload="x", size_bytes=500))
+    sim.run()
+    assert len(sinks["r"].received) == 1
+    sim.schedule(1.0, lambda: medium.transmit(
+        Frame(source="b", destination=BROADCAST_ADDRESS, payload="y", size_bytes=500)))
+    sim.run()
+    assert len(sinks["r"].received) == 1
+    assert medium.stats.frames_collided == 1
+    assert medium.stats.frames_delivered == 1
+
+
+def test_loss_models_default_rngs_are_deterministic():
+    """Omitting ``rng`` must not silently break run-to-run determinism."""
+    frame = Frame("a", "b", None)
+    bernoulli_a, bernoulli_b = BernoulliLossModel(0.5), BernoulliLossModel(0.5)
+    first = [bernoulli_a.is_lost(frame, (0, 0), (1, 1)) for _ in range(64)]
+    second = [bernoulli_b.is_lost(frame, (0, 0), (1, 1)) for _ in range(64)]
+    assert first == second
+    assert True in first and False in first  # an actual random sequence
+    far = ((0.0, 0.0), (240.0, 0.0))
+    distance_a, distance_b = DistanceLossModel(), DistanceLossModel()
+    first = [distance_a.is_lost(frame, *far) for _ in range(64)]
+    second = [distance_b.is_lost(frame, *far) for _ in range(64)]
+    assert first == second
