@@ -1,0 +1,76 @@
+"""Table E (extension) — resumable results store vs cold campaign re-runs.
+
+Runs a detector-vs-baselines campaign grid once into an SQLite
+:class:`~repro.experiments.results.ResultsStore`, then times a *resumed*
+invocation of the identical grid: every cell's content hash is already
+stored, so the resume executes zero simulations and only streams the stored
+rows into the report.  The bench asserts the two properties the store
+promises: the resumed report is byte-identical to the cold one, and the
+resume is decisively faster than re-running the grid (the whole point of
+persisting campaign results).
+
+Like every file in this directory the test carries the ``bench`` marker
+(applied by ``conftest.py``), so ``-m "not bench"`` keeps the fast tier-1
+loop fast.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.campaign import CampaignGrid, run_campaign
+from repro.experiments.results import ResultsStore
+
+
+def _grid() -> CampaignGrid:
+    return CampaignGrid(
+        node_counts=(8, 12),
+        liar_fractions=(0.0, 0.25),
+        loss_models=("bernoulli:0.0",),
+        max_speeds=(0.0,),
+        systems=("detector", "averaging"),
+        base_seed=7,
+        warmup=25.0,
+        cycles=2,
+    )
+
+
+def test_bench_resume_from_store_beats_cold_rerun(benchmark, emit, tmp_path):
+    grid = _grid()
+    assert grid.size() == 8
+
+    started = time.perf_counter()
+    cold = run_campaign(grid)
+    cold_seconds = time.perf_counter() - started
+    cold_report = cold.format_report()
+
+    db_path = str(tmp_path / "campaign.sqlite")
+    with ResultsStore(db_path) as store:
+        populated = run_campaign(grid, store=store)
+        assert len(populated.executed_run_ids) == grid.size()
+
+    def resumed_run() -> str:
+        with ResultsStore(db_path) as store:
+            result = run_campaign(grid, store=store)
+            assert result.executed_run_ids == []
+            assert len(result.skipped_run_ids) == grid.size()
+            return result.format_report()
+
+    resumed_report = benchmark.pedantic(resumed_run, rounds=3, iterations=1)
+    assert resumed_report == cold_report
+
+    resumed_seconds = benchmark.stats.stats.mean
+    emit(
+        "TABLE E (Results store, 8 cells)",
+        f"cold run    : {cold_seconds:8.3f} s\n"
+        f"resumed run : {resumed_seconds:8.3f} s  "
+        f"(x{cold_seconds / max(resumed_seconds, 1e-9):.0f} faster, byte-identical report)",
+    )
+    # The resume replays stored rows instead of simulating; anything less
+    # than a 5x win would mean the store is broken.
+    assert resumed_seconds < cold_seconds / 5.0
+
+    benchmark.extra_info.update({
+        "cells": grid.size(),
+        "cold_seconds": round(cold_seconds, 3),
+    })

@@ -49,8 +49,9 @@ from repro.trust import TrustManager, TrustParameters, confidence_interval
 
 __version__ = "1.0.0"
 
-# Lazy campaign exports (PEP 562); see repro.experiments.__getattr__.
+# Lazy campaign/results exports (PEP 562); see repro.experiments.__getattr__.
 _CAMPAIGN_EXPORTS = ("CampaignGrid", "CampaignResult", "run_campaign")
+_RESULTS_EXPORTS = ("ResultsStore",)
 
 
 def __getattr__(name):
@@ -58,6 +59,10 @@ def __getattr__(name):
         from repro.experiments import campaign
 
         return getattr(campaign, name)
+    if name in _RESULTS_EXPORTS:
+        from repro.experiments import results
+
+        return getattr(results, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -68,6 +73,7 @@ __all__ = [
     "DetectionConfig",
     "DetectorNode",
     "LinkSpoofingVariant",
+    "ResultsStore",
     "RoundBasedExperiment",
     "ScenarioConfig",
     "TrustManager",

@@ -6,9 +6,10 @@
   deviation test and fading (Buchegger & Le Boudec).
 * :mod:`repro.baselines.averaging` — plain report averaging (Liu et al. 2004).
 
-Each baseline exposes a ``process_round(suspect, answers)`` adapter so the
-comparison benches can feed all of them the exact same investigation answers
-the paper's detector receives.
+Each baseline exposes a ``process_round(suspect, answers)`` adapter
+(``WatchdogPathrater`` included) so the comparison benches and the scenario
+campaign's ``system`` axis (:mod:`repro.experiments.campaign`) can feed all
+of them the exact same investigation answers the paper's detector receives.
 """
 
 from repro.baselines.averaging import AveragingTrustSystem, TrustReport

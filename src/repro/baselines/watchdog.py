@@ -13,7 +13,7 @@ which is exactly the comparison the ablation benches document.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set
 
 
 @dataclass
@@ -154,3 +154,34 @@ class WatchdogPathrater:
     def detected_attackers(self) -> Set[str]:
         """Nodes the bundle currently classifies as misbehaving."""
         return self.watchdog.misbehaving_nodes()
+
+    def process_round(self, suspect: str, answers: Mapping[str, Optional[bool]]) -> float:
+        """Round-based adapter matching the paper detector's interface.
+
+        A watchdog has no notion of link-verification testimony; the closest
+        translation is to treat every received answer as one overheard
+        forwarding opportunity of the suspect: a denial means the promised
+        behaviour did not materialise (a miss), a confirmation counts as an
+        observed forward, and a missing answer is no observation at all.
+        Returns the suspect's score in ``[-1, 1]`` (``+1`` = every
+        opportunity forwarded, ``-1`` = every opportunity missed).
+        """
+        for _responder, answer in sorted(answers.items()):
+            if answer is None:
+                continue
+            self.watchdog.expect_forward(suspect)
+            if answer:
+                self.watchdog.observe_forward(suspect)
+            else:
+                self.watchdog.observe_miss(suspect)
+        return self.score_of(suspect)
+
+    def score_of(self, suspect: str) -> float:
+        """Miss-ratio score of ``suspect`` mapped linearly onto ``[-1, 1]``."""
+        return 1.0 - 2.0 * self.watchdog.record_of(suspect).miss_ratio
+
+    def classify(self, suspect: str) -> str:
+        """"intruder" when the watchdog flags ``suspect``, else "well-behaving"."""
+        if self.watchdog.is_misbehaving(suspect):
+            return "intruder"
+        return "well-behaving"

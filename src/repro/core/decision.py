@@ -22,6 +22,7 @@ margin ``Ci`` and the decision threshold ``γ``::
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -53,12 +54,18 @@ def detection_weights(trust_values: Sequence[float]) -> List[float]:
     """Weights ``w_i = 1 / Σ_j T^{A,S_j}`` of Eq. 8.
 
     When every responder has zero trust the weights are zero: worthless
-    answers cannot move the aggregate.
+    answers cannot move the aggregate.  A subnormal total gets the same
+    treatment — ``1/total`` would overflow to ``inf`` and poison the
+    aggregate with NaNs, and trust that small is indistinguishable from
+    zero anyway.
     """
     total = sum(trust_values)
     if total <= 0.0:
         return [0.0 for _ in trust_values]
-    return [1.0 / total for _ in trust_values]
+    weight = 1.0 / total
+    if math.isinf(weight):
+        return [0.0 for _ in trust_values]
+    return [weight for _ in trust_values]
 
 
 def aggregate_detection(

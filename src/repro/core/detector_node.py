@@ -115,6 +115,7 @@ class DetectorNode:
             colluders=colluders,
             loss_probability=self.detection_config.query_loss_probability,
             rng=self.rng,
+            owner=self.node_id,
         )
         self.bind_transport(transport)
 

@@ -26,9 +26,23 @@ from repro.core.decision import (
     DetectionDecision,
     evaluate_investigation,
 )
+from repro.seeding import stable_seed
 from repro.trust.evidence import EvidenceKind, TrustEvidence
 from repro.trust.manager import TrustManager
 from repro.trust.recommendation import RecommendationManager
+
+
+def _transport_rng(kind: str, owner: str) -> random.Random:
+    """Default per-owner loss RNG for a query transport.
+
+    Seeding every transport with a shared constant (the old
+    ``random.Random(0)`` default) made all nodes draw the *identical* loss
+    sequence, correlating query losses across the whole network; deriving the
+    seed from the owning node's id keeps the default deterministic while
+    decorrelating the instances (same scheme as the campaign's stable
+    per-cell seeds).
+    """
+    return random.Random(stable_seed(0, f"{kind}:{owner}"))
 
 
 class QueryTransport(Protocol):
@@ -67,12 +81,13 @@ class OracleTransport:
         responders: Mapping[str, object],
         loss_probability: float = 0.0,
         rng: Optional[random.Random] = None,
+        owner: str = "",
     ) -> None:
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError("loss_probability must be in [0, 1]")
         self._responders = dict(responders)
         self.loss_probability = loss_probability
-        self.rng = rng or random.Random(0)
+        self.rng = rng or _transport_rng("oracle-transport", owner)
 
     def add_responder(self, node_id: str, responder: object) -> None:
         """Register an additional responder."""
@@ -473,12 +488,13 @@ class NetworkPathTransport:
         colluders: Optional[Set[str]] = None,
         loss_probability: float = 0.0,
         rng: Optional[random.Random] = None,
+        owner: str = "",
     ) -> None:
         self._connectivity_oracle = connectivity_oracle
         self._responders = dict(responders)
         self.colluders = set(colluders or set())
         self.loss_probability = loss_probability
-        self.rng = rng or random.Random(0)
+        self.rng = rng or _transport_rng("network-path-transport", owner)
 
     def verify_link(self, requester: str, responder: str, suspect: str,
                     link_peer: Optional[str] = None) -> Optional[bool]:

@@ -14,8 +14,11 @@
   (extension Table B).
 * :mod:`repro.experiments.scenario` — full-stack simulated MANET scenarios.
 * :mod:`repro.experiments.campaign` — declarative multi-process scenario
-  campaigns over node count × loss × mobility × attack variant × liar
-  fraction grids (also a CLI: ``python -m repro.experiments.campaign``).
+  campaigns over system under test × node count × loss × mobility × attack
+  variant × liar fraction grids (also a CLI:
+  ``python -m repro.experiments.campaign``).
+* :mod:`repro.experiments.results` — SQLite-backed, resumable campaign
+  results store (content-hash keyed, WAL journal, streaming aggregation).
 * :mod:`repro.experiments.report` — plain-text tables and sparklines.
 """
 
@@ -73,8 +76,14 @@ _CAMPAIGN_EXPORTS = (
     "CampaignResult",
     "CampaignRunResult",
     "CampaignSpec",
+    "SYSTEMS",
     "execute_spec",
     "run_campaign",
+)
+
+_RESULTS_EXPORTS = (
+    "ResultsStore",
+    "spec_content_hash",
 )
 
 
@@ -83,6 +92,10 @@ def __getattr__(name):
         from repro.experiments import campaign
 
         return getattr(campaign, name)
+    if name in _RESULTS_EXPORTS:
+        from repro.experiments import results
+
+        return getattr(results, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -93,9 +106,12 @@ __all__ = [
     "CampaignResult",
     "CampaignRunResult",
     "CampaignSpec",
+    "ResultsStore",
+    "SYSTEMS",
     "aggregate_rows",
     "execute_spec",
     "run_campaign",
+    "spec_content_hash",
     "ConfidenceSweepResult",
     "ConfidenceSweepRow",
     "ExperimentResult",

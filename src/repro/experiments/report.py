@@ -12,10 +12,22 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 
 def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
-    """Format dict rows as a fixed-width text table (column order = first row)."""
+    """Format dict rows as a fixed-width text table.
+
+    The column order is the ordered union of every row's keys (first
+    occurrence wins), so a key that only appears in later rows — e.g. a
+    metric that is ``None``-omitted for some systems — still gets a column
+    instead of being silently dropped.
+    """
     if not rows:
         return f"{title}\n(no data)" if title else "(no data)"
-    columns = list(rows[0].keys())
+    columns: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row.keys():
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
     widths = {c: len(str(c)) for c in columns}
     for row in rows:
         for column in columns:
@@ -101,7 +113,7 @@ def format_trajectories(trajectories: Mapping[str, Sequence[float]],
     return "\n".join(lines)
 
 
-def aggregate_rows(rows: Sequence[Mapping[str, object]],
+def aggregate_rows(rows: Iterable[Mapping[str, object]],
                    group_by: Sequence[str],
                    value_columns: Sequence[str],
                    count_column: str = "runs") -> List[Dict[str, object]]:
@@ -112,11 +124,27 @@ def aggregate_rows(rows: Sequence[Mapping[str, object]],
     with the group size.  Groups are emitted in sorted key order so repeated
     aggregations of the same data are byte-identical — a property the
     campaign runner's determinism check relies on.
+
+    ``rows`` may be any iterable (including a database cursor): aggregation
+    is streaming — only per-group running sums and counts are held in
+    memory, never the rows themselves, so a stored campaign of any size can
+    be re-aggregated in constant memory (see
+    :meth:`repro.experiments.results.ResultsStore.iter_rows`).
     """
-    groups: Dict[tuple, List[Mapping[str, object]]] = {}
+    # group key → (group row count, per-column [sum, numeric count]).
+    groups: Dict[tuple, tuple] = {}
     for row in rows:
         key = tuple(row.get(column) for column in group_by)
-        groups.setdefault(key, []).append(row)
+        entry = groups.get(key)
+        if entry is None:
+            entry = (0, {column: [0.0, 0] for column in value_columns})
+        count, sums = entry
+        for column in value_columns:
+            value = row.get(column)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                sums[column][0] += value
+                sums[column][1] += 1
+        groups[key] = (count + 1, sums)
 
     def sort_key(key: tuple):
         # Numbers sort numerically, everything else lexicographically; the
@@ -129,16 +157,12 @@ def aggregate_rows(rows: Sequence[Mapping[str, object]],
 
     aggregated: List[Dict[str, object]] = []
     for key in sorted(groups, key=sort_key):
-        members = groups[key]
+        count, sums = groups[key]
         out: Dict[str, object] = dict(zip(group_by, key))
-        out[count_column] = len(members)
+        out[count_column] = count
         for column in value_columns:
-            values = [
-                row[column] for row in members
-                if isinstance(row.get(column), (int, float))
-                and not isinstance(row.get(column), bool)
-            ]
-            out[column] = sum(values) / len(values) if values else None
+            total, seen = sums[column]
+            out[column] = total / seen if seen else None
         aggregated.append(out)
     return aggregated
 

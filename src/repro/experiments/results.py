@@ -1,0 +1,231 @@
+"""SQLite-backed, resumable campaign results store.
+
+A scenario campaign (:mod:`repro.experiments.campaign`) can take minutes to
+hours; before this module every :class:`~repro.experiments.campaign.CampaignRunResult`
+lived only in process memory, so a killed campaign lost all completed cells
+and re-aggregation meant re-running the whole grid.  :class:`ResultsStore`
+makes the results durable and the campaign *resumable*:
+
+* every completed cell is committed to SQLite as soon as its worker returns,
+  keyed by a **content hash** of the fully-resolved
+  :class:`~repro.experiments.campaign.CampaignSpec`;
+* :func:`~repro.experiments.campaign.run_campaign` skips cells whose hash is
+  already present, so a killed campaign restarted with the same grid executes
+  only the missing cells and still produces a report byte-identical to an
+  uninterrupted run;
+* reporting streams rows straight from the database cursor, so aggregating a
+  huge stored campaign never materialises every result row in memory.
+
+Schema (version 1)
+------------------
+Two tables, created on first open::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)
+        -- carries schema_version; opening a store with an unknown version
+        -- raises instead of silently corrupting it.
+    runs(
+        spec_hash TEXT PRIMARY KEY,   -- content hash, see spec_content_hash()
+        run_id    TEXT NOT NULL,      -- human-readable cell id (indexed)
+        system    TEXT NOT NULL,      -- detector | watchdog | beta | ...
+        spec_json TEXT NOT NULL,      -- canonical JSON of the CampaignSpec
+        row_json  TEXT NOT NULL       -- the flat result row (as_row())
+    )
+
+The database is opened in WAL journal mode so a reader (``report``
+subcommand, live monitoring) never blocks the writer appending finished
+cells.
+
+Content-hash key
+----------------
+:func:`spec_content_hash` is the SHA-256 of the canonical JSON encoding
+(sorted keys, no whitespace) of *every* field of the spec dataclass — all
+grid axes, the derived per-cell seed, the ``system`` under test and the
+code-relevant scenario configuration (area, radio range, warm-up, cycle
+structure) — prefixed with a schema label.  Two specs collide only if they
+would execute the identical simulation; changing any knob (or the row schema
+version) yields a fresh key, so stale rows from older configurations are
+never silently reused.
+
+Resume guarantees
+-----------------
+Rows are committed one by one (autocommit), so after a crash the store holds
+exactly the cells whose workers finished.  Because every cell derives all of
+its randomness from its own stable seed, re-running the missing cells in any
+order — or from any number of worker processes — reproduces the
+uninterrupted campaign's report byte for byte.  Stored rows round-trip
+through JSON (``repr``-exact floats), which keeps stored-row reports
+bit-identical to freshly-computed ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import asdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+#: Bump when the row/spec encoding changes; part of every content hash, so a
+#: store written by an older encoding is never silently reused.
+SCHEMA_VERSION = 1
+
+
+def spec_content_hash(spec) -> str:
+    """Content hash identifying one fully-resolved campaign cell.
+
+    ``spec`` is a :class:`~repro.experiments.campaign.CampaignSpec` (or any
+    dataclass with the same role): the hash covers every field — axes, seed,
+    system and scenario config — plus the store schema version.
+    """
+    payload = {"schema": SCHEMA_VERSION}
+    payload.update(asdict(spec))
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultsStore:
+    """Durable store of completed campaign cells (see module docstring).
+
+    Usable as a context manager; safe to reopen over an existing database
+    (the schema is created only when missing).  One instance wraps one
+    :mod:`sqlite3` connection and therefore belongs to one process — worker
+    processes return plain rows and only the parent writes.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # isolation_level=None → autocommit: every finished cell is durable
+        # immediately, which is what makes a killed campaign resumable.
+        self._connection = sqlite3.connect(path, isolation_level=None)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._create_schema()
+
+    # ------------------------------------------------------------ lifecycle
+    def _create_schema(self) -> None:
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS runs (
+                spec_hash TEXT PRIMARY KEY,
+                run_id    TEXT NOT NULL,
+                system    TEXT NOT NULL,
+                spec_json TEXT NOT NULL,
+                row_json  TEXT NOT NULL
+            )
+            """
+        )
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS idx_runs_run_id ON runs (run_id)"
+        )
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._connection.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise ValueError(
+                f"results store {self.path!r} has schema version {row[0]}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- writing
+    def record(self, spec, row: Dict[str, object],
+               spec_hash: Optional[str] = None) -> str:
+        """Persist one completed cell; returns its content hash.
+
+        Overwrites any previous row under the same hash (identical spec →
+        identical simulation, so a replace is always an idempotent refresh).
+        """
+        digest = spec_hash or spec_content_hash(spec)
+        self._connection.execute(
+            "INSERT OR REPLACE INTO runs "
+            "(spec_hash, run_id, system, spec_json, row_json) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                digest,
+                spec.run_id,
+                getattr(spec, "system", "detector"),
+                json.dumps(asdict(spec), sort_keys=True),
+                json.dumps(row),
+            ),
+        )
+        return digest
+
+    def discard(self, spec_hash: str) -> None:
+        """Drop one stored cell (e.g. to force its re-execution)."""
+        self._connection.execute("DELETE FROM runs WHERE spec_hash = ?", (spec_hash,))
+
+    # -------------------------------------------------------------- reading
+    def __contains__(self, spec_hash: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM runs WHERE spec_hash = ?", (spec_hash,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return self._connection.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def completed_hashes(self, hashes: Optional[Iterable[str]] = None) -> Set[str]:
+        """Hashes present in the store, optionally restricted to ``hashes``."""
+        if hashes is None:
+            cursor = self._connection.execute("SELECT spec_hash FROM runs")
+            return {row[0] for row in cursor}
+        wanted = set(hashes)
+        found: Set[str] = set()
+        chunk: List[str] = []
+        for digest in sorted(wanted):
+            chunk.append(digest)
+            if len(chunk) == 500:
+                found |= self._completed_chunk(chunk)
+                chunk = []
+        if chunk:
+            found |= self._completed_chunk(chunk)
+        return found
+
+    def _completed_chunk(self, chunk: List[str]) -> Set[str]:
+        placeholders = ",".join("?" for _ in chunk)
+        cursor = self._connection.execute(
+            f"SELECT spec_hash FROM runs WHERE spec_hash IN ({placeholders})", chunk
+        )
+        return {row[0] for row in cursor}
+
+    def get_row(self, spec_hash: str) -> Optional[Dict[str, object]]:
+        """The stored result row of one cell, or ``None`` when absent."""
+        record = self._connection.execute(
+            "SELECT row_json FROM runs WHERE spec_hash = ?", (spec_hash,)
+        ).fetchone()
+        if record is None:
+            return None
+        return json.loads(record[0])
+
+    def iter_rows(self, hashes: Optional[Iterable[str]] = None) -> Iterator[Dict[str, object]]:
+        """Stream result rows ordered by ``run_id`` (then hash, for stability).
+
+        ``hashes`` restricts the stream to one campaign's cells — a store may
+        hold several campaigns side by side.  The rows come straight off the
+        SQLite cursor, so memory stays constant regardless of campaign size
+        (apart from the hash filter set itself).
+        """
+        wanted = set(hashes) if hashes is not None else None
+        cursor = self._connection.execute(
+            "SELECT spec_hash, row_json FROM runs ORDER BY run_id, spec_hash"
+        )
+        for spec_hash, row_json in cursor:
+            if wanted is None or spec_hash in wanted:
+                yield json.loads(row_json)

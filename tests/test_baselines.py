@@ -82,6 +82,26 @@ def test_watchdog_pathrater_bundle():
     assert bundle.detected_attackers() == {"dropper"}
 
 
+def test_watchdog_round_interface_flags_unanimous_denials():
+    bundle = WatchdogPathrater("me")
+    # Five responders deny the suspect's advertised behaviour twice: every
+    # answer is one overheard forwarding opportunity, denials count as misses.
+    answers = {f"s{i}": False for i in range(5)}
+    bundle.process_round("attacker", answers)
+    score = bundle.process_round("attacker", answers)
+    assert score == -1.0
+    assert bundle.classify("attacker") == "intruder"
+    assert bundle.score_of("attacker") == -1.0
+
+
+def test_watchdog_round_interface_ignores_missing_answers():
+    bundle = WatchdogPathrater("me")
+    score = bundle.process_round("suspect", {"s1": True, "s2": None})
+    assert score == 1.0
+    assert bundle.watchdog.record_of("suspect").expected == 1
+    assert bundle.classify("suspect") == "well-behaving"
+
+
 # ------------------------------------------------------------------ CAP-OLSR
 def test_cap_olsr_trust_from_observations():
     trust = CapOlsrTrust("me")

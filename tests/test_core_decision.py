@@ -60,6 +60,15 @@ def test_detection_weights_normalisation():
     assert detection_weights([]) == []
 
 
+def test_detection_weights_subnormal_total_is_zero_trust():
+    # 1/total overflows to inf for subnormal totals; such trust is
+    # indistinguishable from zero and must not poison the aggregate with NaN.
+    subnormal = 2.225073858507203e-309
+    assert detection_weights([subnormal, 0.0]) == [0.0, 0.0]
+    value = aggregate_detection({"s0": -1.0, "s1": -1.0}, {"s0": subnormal})
+    assert value == 0.0
+
+
 # ---------------------------------------------------------------- Eq. 8
 def test_aggregate_all_deny_equal_trust_is_minus_one():
     answers = {f"s{i}": ANSWER_DENY for i in range(5)}

@@ -108,6 +108,22 @@ def test_oracle_transport_loss():
         OracleTransport({}, loss_probability=2.0)
 
 
+def test_default_transport_rngs_are_per_owner():
+    # The old default seeded every transport with random.Random(0), so all
+    # nodes drew the identical loss sequence; the per-owner derivation must
+    # decorrelate owners while staying deterministic per owner.
+    draws = {}
+    for owner in ("n00", "n01"):
+        transport = OracleTransport({}, owner=owner)
+        repeat = OracleTransport({}, owner=owner)
+        draws[owner] = [transport.rng.random() for _ in range(4)]
+        assert draws[owner] == [repeat.rng.random() for _ in range(4)]
+    assert draws["n00"] != draws["n01"]
+    # The two transport kinds do not share sequences for the same owner either.
+    network = NetworkPathTransport(lambda: {}, {}, owner="n00")
+    assert [network.rng.random() for _ in range(4)] != draws["n00"]
+
+
 def test_oracle_transport_passes_link_peer():
     responder = StubResponder(True)
     transport = OracleTransport({"s1": responder})

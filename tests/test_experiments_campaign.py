@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.campaign import (
+    SYSTEMS,
     CampaignGrid,
     CampaignSpec,
     _parse_loss,
@@ -48,7 +49,11 @@ def test_grid_expands_full_cross_product_with_stable_seeds():
     assert specs == grid.expand()  # expansion is deterministic
     assert specs == sorted(specs, key=lambda s: s.run_id)
     for spec in specs:
-        assert spec.seed == stable_seed(7, spec.run_id)
+        # The seed is derived from the scenario axes only (run id minus the
+        # trailing system token), so every system replays the same scenario.
+        scenario_id = spec.run_id[: -(len(spec.system) + 1)]
+        assert spec.run_id == f"{scenario_id}-{spec.system}"
+        assert spec.seed == stable_seed(7, scenario_id)
 
 
 def test_grid_repetitions_get_distinct_seeds():
@@ -67,6 +72,17 @@ def test_grid_validates_axes():
         CampaignGrid(attack_variants=("no_such_variant",))
     with pytest.raises(ValueError):
         CampaignGrid(repetitions=0)
+    with pytest.raises(ValueError):
+        CampaignGrid(systems=("no_such_system",))
+
+
+def test_grid_system_axis_multiplies_cells_and_shares_seeds():
+    grid = CampaignGrid(node_counts=(8,), liar_fractions=(0.25,), systems=SYSTEMS)
+    specs = grid.expand()
+    assert grid.size() == len(SYSTEMS)
+    assert sorted(spec.system for spec in specs) == sorted(SYSTEMS)
+    # Same scenario cell under every system → one shared seed.
+    assert len({spec.seed for spec in specs}) == 1
 
 
 def test_parse_loss_entries():
@@ -150,6 +166,27 @@ def test_cli_parser_defaults():
     assert args.node_counts == [16]
     assert args.workers == 1
     assert args.loss == ["bernoulli:0.0"]
+    assert args.systems == ["detector"]
+    assert args.db is None and not args.resume
+
+
+def test_as_row_keeps_raw_precision():
+    # Aggregates must be computed from raw per-run metrics; rounding happens
+    # only in the formatter.  (A pre-rounded 4-digit row biases group means.)
+    from repro.experiments.campaign import CampaignRunResult
+
+    spec = CampaignSpec(run_id="x", seed=1, node_count=8, liar_fraction=0.0,
+                        loss_model="bernoulli", loss_probability=0.0,
+                        max_speed=0.0, attack_variant="false_existing_link")
+    result = CampaignRunResult(
+        spec=spec, attacker_investigated=True, detection_cycles=1,
+        final_detect=-0.123456789, attacker_trust=0.987654321,
+        mean_liar_trust=None, mean_honest_trust=0.5,
+        frames_sent=1, frames_delivered=1, events_processed=1,
+    )
+    row = result.as_row()
+    assert row["final_detect"] == -0.123456789
+    assert row["attacker_trust"] == 0.987654321
 
 
 # ---------------------------------------------------------------- reporting

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.experiments.report import (
+    aggregate_rows,
     format_series,
     format_table,
     format_trajectories,
@@ -28,6 +29,26 @@ def test_format_table_handles_none_and_empty():
     assert "(no data)" in format_table([], title="Empty")
     text = format_table([{"a": None, "b": 1}])
     assert "-" in text
+
+
+def test_format_table_columns_union_of_all_rows():
+    # Keys appearing only in later rows must still get a column (the old
+    # first-row-only behaviour silently dropped them).
+    rows = [
+        {"a": 1, "b": 2},
+        {"a": 3, "c": 4},
+    ]
+    text = format_table(rows)
+    header = text.splitlines()[0]
+    assert "a" in header and "b" in header and "c" in header
+    first_data = text.splitlines()[2]
+    assert first_data.rstrip().endswith("-")  # row 1 has no "c" value
+
+
+def test_format_table_column_order_first_occurrence_wins():
+    rows = [{"x": 1}, {"y": 2, "x": 3}]
+    header = format_table(rows).splitlines()[0]
+    assert header.index("x") < header.index("y")
 
 
 def test_format_table_alignment_consistent_width():
@@ -71,3 +92,17 @@ def test_format_trajectories():
 def test_render_report_joins_sections():
     report = render_report(["section A", "", "section B"])
     assert report == "section A\n\nsection B"
+
+
+def test_aggregate_rows_accepts_a_row_generator():
+    # Aggregation is streaming: a one-shot iterator (e.g. a database cursor)
+    # must produce the same result as a list.
+    rows = [
+        {"g": "a", "v": 1.0},
+        {"g": "a", "v": 3.0},
+        {"g": "b", "v": 5.0},
+    ]
+    from_list = aggregate_rows(rows, ("g",), ("v",))
+    from_iter = aggregate_rows(iter(rows), ("g",), ("v",))
+    assert from_list == from_iter
+    assert from_list[0] == {"g": "a", "runs": 2, "v": 2.0}

@@ -1,0 +1,232 @@
+"""Tests for the SQLite-backed campaign results store and resume semantics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.campaign import (
+    SYSTEMS,
+    CampaignGrid,
+    CampaignSpec,
+    main,
+    run_campaign,
+)
+from repro.experiments.results import ResultsStore, spec_content_hash
+
+
+def _spec(**overrides) -> CampaignSpec:
+    settings = dict(
+        run_id="n008-x-r0-detector", seed=1, node_count=8, liar_fraction=0.0,
+        loss_model="bernoulli", loss_probability=0.0, max_speed=0.0,
+        attack_variant="false_existing_link",
+    )
+    settings.update(overrides)
+    return CampaignSpec(**settings)
+
+
+def _grid(**overrides) -> CampaignGrid:
+    settings = dict(
+        node_counts=(8,),
+        liar_fractions=(0.0, 0.25),
+        loss_models=("bernoulli:0.0",),
+        max_speeds=(0.0,),
+        systems=("detector", "averaging"),
+        base_seed=7,
+        warmup=20.0,
+        cycles=1,
+    )
+    settings.update(overrides)
+    return CampaignGrid(**settings)
+
+
+# ------------------------------------------------------------- content hash
+def test_spec_content_hash_is_stable_and_field_sensitive():
+    spec = _spec()
+    assert spec_content_hash(spec) == spec_content_hash(_spec())
+    assert spec.content_hash() == spec_content_hash(spec)
+    for change in (dict(seed=2), dict(node_count=16), dict(system="beta"),
+                   dict(warmup=30.0), dict(cycles=6)):
+        assert spec_content_hash(_spec(**change)) != spec_content_hash(spec)
+
+
+# -------------------------------------------------------------------- store
+def test_store_roundtrip_and_streaming_order(tmp_path):
+    path = str(tmp_path / "runs.sqlite")
+    spec_b = _spec(run_id="b-cell")
+    spec_a = _spec(run_id="a-cell", seed=2)
+    with ResultsStore(path) as store:
+        digest_b = store.record(spec_b, {"run_id": "b-cell", "x": 1.5, "ok": True})
+        store.record(spec_a, {"run_id": "a-cell", "x": None, "ok": False})
+        assert digest_b == spec_content_hash(spec_b)
+        assert digest_b in store
+        assert "missing" not in store
+        assert len(store) == 2
+        assert store.get_row(digest_b) == {"run_id": "b-cell", "x": 1.5, "ok": True}
+        assert store.get_row("missing") is None
+        # Streaming is ordered by run_id and filterable per campaign.
+        assert [r["run_id"] for r in store.iter_rows()] == ["a-cell", "b-cell"]
+        assert [r["run_id"] for r in store.iter_rows([digest_b])] == ["b-cell"]
+
+    # Reopening sees the committed rows (durability across connections).
+    with ResultsStore(path) as store:
+        assert len(store) == 2
+        store.discard(digest_b)
+        assert len(store) == 1
+
+
+def test_store_rejects_unknown_schema_version(tmp_path):
+    path = str(tmp_path / "runs.sqlite")
+    with ResultsStore(path) as store:
+        store._connection.execute(
+            "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+        )
+    with pytest.raises(ValueError):
+        ResultsStore(path)
+
+
+def test_record_replaces_existing_row(tmp_path):
+    with ResultsStore(str(tmp_path / "runs.sqlite")) as store:
+        spec = _spec()
+        digest = store.record(spec, {"run_id": spec.run_id, "v": 1})
+        store.record(spec, {"run_id": spec.run_id, "v": 2})
+        assert len(store) == 1
+        assert store.get_row(digest) == {"run_id": spec.run_id, "v": 2}
+
+
+def test_completed_hashes_chunks_large_sets(tmp_path):
+    with ResultsStore(str(tmp_path / "runs.sqlite")) as store:
+        specs = [_spec(run_id=f"cell-{i:04d}", seed=i) for i in range(7)]
+        digests = [store.record(s, {"run_id": s.run_id}) for s in specs]
+        probe = digests + [f"absent-{i}" for i in range(600)]
+        assert store.completed_hashes(probe) == set(digests)
+
+
+# ------------------------------------------------------------------- resume
+def test_interrupted_campaign_resumes_and_report_is_byte_identical(tmp_path):
+    grid = _grid()
+    total = grid.size()
+    assert total == 4
+    reference = run_campaign(grid).format_report()  # uninterrupted, in-memory
+
+    path = str(tmp_path / "campaign.sqlite")
+    with ResultsStore(path) as store:
+        # "Kill" the campaign after 2 of 4 cells.
+        partial = run_campaign(grid, store=store, max_new_runs=2)
+        assert len(partial.executed_run_ids) == 2
+        assert partial.skipped_run_ids == []
+        assert len(store) == 2
+
+    # Reopen the store: only the remaining cells are executed.
+    with ResultsStore(path) as store:
+        resumed = run_campaign(grid, store=store)
+        assert len(resumed.skipped_run_ids) == 2
+        assert len(resumed.executed_run_ids) == total - 2
+        assert set(resumed.skipped_run_ids) | set(resumed.executed_run_ids) == {
+            spec.run_id for spec in grid.expand()
+        }
+        assert resumed.format_report() == reference
+
+    # A third invocation is a pure replay: nothing executes, same report.
+    with ResultsStore(path) as store:
+        replay = run_campaign(grid, store=store)
+        assert replay.executed_run_ids == []
+        assert len(replay.skipped_run_ids) == total
+        assert replay.format_report() == reference
+
+
+def test_resume_false_re_executes_stored_cells(tmp_path):
+    grid = _grid(liar_fractions=(0.0,), systems=("detector",))
+    with ResultsStore(str(tmp_path / "campaign.sqlite")) as store:
+        first = run_campaign(grid, store=store)
+        assert len(first.executed_run_ids) == 1
+        again = run_campaign(grid, store=store, resume=False)
+        assert len(again.executed_run_ids) == 1
+        assert again.skipped_run_ids == []
+
+
+def test_store_backed_campaign_matches_parallel_and_serial(tmp_path):
+    grid = _grid(systems=("detector",))
+    serial = run_campaign(grid).format_report()
+    with ResultsStore(str(tmp_path / "campaign.sqlite")) as store:
+        parallel = run_campaign(grid, workers=2, store=store)
+        assert parallel.format_report() == serial
+
+
+# ------------------------------------------------------------- systems axis
+def test_one_grid_compares_detector_against_all_baselines():
+    grid = _grid(liar_fractions=(0.25,), systems=SYSTEMS, cycles=2, warmup=25.0)
+    result = run_campaign(grid, workers=2)
+    rows = result.as_rows()
+    assert len(rows) == len(SYSTEMS)
+    assert sorted(row["system"] for row in rows) == sorted(SYSTEMS)
+    # Every system judged the identical simulation.
+    assert len({row["seed"] for row in rows}) == 1
+    assert len({row["frames_sent"] for row in rows}) == 1
+    comparison = result.aggregate(("system",))
+    assert [row["system"] for row in comparison] == sorted(SYSTEMS)
+    report = result.format_report()
+    assert "Detector vs baselines" in report
+    for system in SYSTEMS:
+        assert system in report
+
+
+# ---------------------------------------------------------------------- CLI
+def _cli_args(db_path: str) -> list:
+    return ["--node-counts", "8", "--liar-fractions", "0.0",
+            "--loss", "bernoulli:0.0", "--speeds", "0",
+            "--systems", "detector,averaging",
+            "--warmup", "20", "--cycles", "1", "--db", db_path]
+
+
+def test_cli_db_resume_and_report_subcommand(tmp_path, capsys):
+    db_path = str(tmp_path / "campaign.sqlite")
+    out_a = tmp_path / "a.txt"
+    out_b = tmp_path / "b.txt"
+    out_c = tmp_path / "c.txt"
+
+    assert main(_cli_args(db_path) + ["--output", str(out_a)]) == 0
+    # Resumed invocation executes nothing but reports identically.
+    assert main(_cli_args(db_path) + ["--resume", "--output", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    # The report subcommand re-aggregates the store without re-running.
+    assert main(["report", "--db", db_path, "--output", str(out_c)]) == 0
+    assert out_c.read_bytes() == out_a.read_bytes()
+    capsys.readouterr()  # swallow the printed reports
+
+
+def test_cli_resume_requires_db(capsys):
+    with pytest.raises(SystemExit):
+        main(["--resume"])
+    capsys.readouterr()
+
+
+def test_cli_report_subcommand_missing_db(tmp_path, capsys):
+    missing = str(tmp_path / "nope" / "x.sqlite")
+    assert main(["report", "--db", missing]) == 1
+    # A mistyped path must not be silently created as an empty store.
+    missing_file = tmp_path / "typo.sqlite"
+    assert main(["report", "--db", str(missing_file)]) == 1
+    assert not missing_file.exists()
+    capsys.readouterr()
+
+
+def test_cli_run_with_unopenable_db_errors_cleanly(tmp_path, capsys):
+    bad = str(tmp_path / "no_such_dir" / "c.sqlite")
+    assert main(["--node-counts", "8", "--cycles", "1", "--db", bad]) == 1
+    assert "cannot open results store" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------ stored fields
+def test_stored_spec_json_round_trips(tmp_path):
+    with ResultsStore(str(tmp_path / "runs.sqlite")) as store:
+        spec = _spec(system="beta")
+        digest = store.record(spec, {"run_id": spec.run_id})
+        import json
+
+        stored = store._connection.execute(
+            "SELECT system, spec_json FROM runs WHERE spec_hash = ?", (digest,)
+        ).fetchone()
+        assert stored[0] == "beta"
+        assert json.loads(stored[1]) == dataclasses.asdict(spec)
