@@ -11,6 +11,11 @@ the paper's 16-node scenario (10 honest responders denying the spoofed link,
 * ``beta-reputation`` — Bayesian Beta reputation with deviation test,
 * ``report-averaging``— cumulative average of the reports.
 
+The same comparison runs from the unified CLI (with ``--workers``/``--db``
+available like every registered experiment)::
+
+    python -m repro.experiments run ablation --param liar_count=4
+
 Usage::
 
     python examples/baseline_comparison.py [liar_count]
@@ -21,7 +26,12 @@ from __future__ import annotations
 import sys
 
 from repro import ScenarioConfig
-from repro.experiments import format_series, format_table, run_ablation
+from repro.experiments import (
+    format_series,
+    format_table,
+    run_ablation,
+    run_experiment,
+)
 
 
 def main() -> int:
@@ -30,9 +40,13 @@ def main() -> int:
     print(f"Scenario: {config.total_nodes} nodes, {liar_count} liars "
           f"({config.liar_percentage():.1f}% of responders), {config.rounds} rounds\n")
 
+    # The summary table comes from the engine (the registered "ablation"
+    # spec); the per-round trajectories below use the library API directly.
+    engine_run = run_experiment("ablation", params={"liar_count": liar_count})
     result = run_ablation(config)
+    assert engine_run.rows() == result.as_rows()  # one runtime, same rows
 
-    print(format_table(result.as_rows(),
+    print(format_table(engine_run.rows(),
                        title="Detection round and final score per method"))
     print()
     print(format_series({name: t.scores for name, t in result.methods.items()},

@@ -9,14 +9,14 @@ every completed cell committed to an SQLite results store
 grid resumes from the store: nothing is re-simulated, the report is
 re-aggregated from the database and is byte-identical to the first one.
 
-The same sweep is available from the shell::
+The same sweep is available from the unified experiments CLI::
 
-    python -m repro.experiments.campaign \
+    python -m repro.experiments campaign \
         --node-counts 12 --liar-fractions 0.0,0.25 \
         --systems detector,watchdog,beta,cap-olsr,averaging \
         --warmup 25 --cycles 3 --workers 4 --db campaign.sqlite --resume
 
-    python -m repro.experiments.campaign report --db campaign.sqlite
+    python -m repro.experiments campaign report --db campaign.sqlite
 
 Usage::
 

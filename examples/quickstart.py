@@ -5,6 +5,11 @@ Runs the 16-node scenario of the evaluation section (1 link-spoofing
 attacker, 4 colluding liars, random initial trust, 25 investigation rounds)
 and prints the Figure 1 trust trajectories plus the detection trajectory.
 
+The same experiment is one command away on the unified CLI (with parallel
+fan-out and resumable storage)::
+
+    python -m repro.experiments run figure1
+
 Usage::
 
     python examples/quickstart.py [seed]

@@ -10,6 +10,11 @@ for ablation:
 * How quickly do trust values return to the default once the attack stops,
   and how much slower do former liars recover?
 
+The stock sweeps are also registered on the unified CLI::
+
+    python -m repro.experiments run figure3 --axis "liar_ratio=6.7%,26.3%,43.2%"
+    python -m repro.experiments run figure2
+
 Usage::
 
     python examples/trust_convergence_study.py

@@ -1,5 +1,39 @@
 """Experiment harness reproducing the paper's evaluation (Section V).
 
+Architecture — spec / registry / backend layering
+-------------------------------------------------
+Every experiment is three declarative layers deep, all served by one runtime:
+
+1. **Spec** — an :class:`~repro.experiments.engine.ExperimentDefinition`
+   declares the experiment's parameter ``axes`` and ``fixed`` parameters; the
+   engine expands the cross product into frozen, content-hashable
+   :class:`~repro.experiments.engine.ExperimentSpec` cells with stable
+   per-cell seeds.  The spec is the unit of execution, persistence and
+   resume.
+2. **Registry** — drivers register their definition at import
+   (:func:`~repro.experiments.engine.register`); the CLI
+   (``python -m repro.experiments``), the worker processes and callers
+   resolve names through :func:`~repro.experiments.engine.get_experiment` /
+   :func:`~repro.experiments.engine.list_experiments`.
+3. **Backend** — each cell executes on a pluggable substrate
+   (:mod:`repro.experiments.backends`): ``"oracle"`` runs the paper's
+   round-based loop (:class:`~repro.experiments.rounds.RoundBasedExperiment`),
+   ``"netsim"`` the full MANET stack
+   (:func:`~repro.experiments.scenario.build_manet_scenario`).  Both return
+   the same :class:`~repro.experiments.rounds.ExperimentResult`, so every
+   figure can also run full-stack and every scenario axis (loss, mobility,
+   liar fraction) applies to every experiment.
+
+The shared runtime (:func:`~repro.experiments.engine.run_experiment`) gives
+all of them process-pool fan-out, SQLite content-hash resume
+(:mod:`repro.experiments.results`) and deterministic streaming reports
+(:mod:`repro.experiments.report`); the scenario campaign
+(:mod:`repro.experiments.campaign`) runs on the same executor.
+
+Modules
+-------
+* :mod:`repro.experiments.engine` — spec, registry, runner (the runtime).
+* :mod:`repro.experiments.backends` — oracle / netsim execution backends.
 * :mod:`repro.experiments.config` — scenario parameters (paper defaults).
 * :mod:`repro.experiments.rounds` — the round-based investigation driver.
 * :mod:`repro.experiments.figure1` — trust trajectories under a persistent
@@ -12,14 +46,18 @@
   (extension Table A).
 * :mod:`repro.experiments.ablation` — trust weighting vs. baselines
   (extension Table B).
+* :mod:`repro.experiments.gravity_ablation` — evidence-gravity sweep.
+* :mod:`repro.experiments.mobility` — mobility impact (netsim backend).
 * :mod:`repro.experiments.scenario` — full-stack simulated MANET scenarios.
 * :mod:`repro.experiments.campaign` — declarative multi-process scenario
   campaigns over system under test × node count × loss × mobility × attack
-  variant × liar fraction grids (also a CLI:
-  ``python -m repro.experiments.campaign``).
-* :mod:`repro.experiments.results` — SQLite-backed, resumable campaign
-  results store (content-hash keyed, WAL journal, streaming aggregation).
+  variant × liar fraction grids.
+* :mod:`repro.experiments.results` — SQLite-backed, resumable results store
+  (content-hash keyed, WAL journal, streaming aggregation).
 * :mod:`repro.experiments.report` — plain-text tables and sparklines.
+
+Command line: ``python -m repro.experiments`` with the subcommands ``list``,
+``run <experiment>``, ``campaign`` and ``report``.
 """
 
 from repro.experiments.ablation import AblationResult, MethodTrajectory, run_ablation
@@ -43,6 +81,15 @@ from repro.experiments.confidence_sweep import (
     ConfidenceSweepResult,
     ConfidenceSweepRow,
     run_confidence_sweep,
+)
+from repro.experiments.engine import (
+    ExperimentDefinition,
+    ExperimentRunResult,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    register,
+    run_experiment,
 )
 from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.figure2 import Figure2Result, run_figure2
@@ -114,7 +161,10 @@ __all__ = [
     "spec_content_hash",
     "ConfidenceSweepResult",
     "ConfidenceSweepRow",
+    "ExperimentDefinition",
     "ExperimentResult",
+    "ExperimentRunResult",
+    "ExperimentSpec",
     "Figure1Result",
     "Figure2Result",
     "Figure3Result",
@@ -134,10 +184,14 @@ __all__ = [
     "format_series",
     "format_table",
     "format_trajectories",
+    "get_experiment",
+    "list_experiments",
     "paper_default_config",
+    "register",
     "render_report",
     "run_ablation",
     "run_confidence_sweep",
+    "run_experiment",
     "run_figure1",
     "run_figure2",
     "run_figure3",

@@ -1,0 +1,269 @@
+"""Unified experiment CLI: ``python -m repro.experiments``.
+
+One entry point for the whole evaluation harness, replacing the campaign-only
+``python -m repro.experiments.campaign`` (which keeps working for
+compatibility)::
+
+    python -m repro.experiments list
+    python -m repro.experiments run figure3 --workers 4
+    python -m repro.experiments run confidence_sweep --db sweep.sqlite --resume
+    python -m repro.experiments run figure1 --backend netsim --param cycles=6
+    python -m repro.experiments run figure3 --axis "liar_ratio=6.7%,50%"
+    python -m repro.experiments campaign --node-counts 8,16 --workers 4
+    python -m repro.experiments report --db sweep.sqlite --experiment confidence_sweep
+
+``run`` executes any registered experiment through the shared engine
+(:mod:`repro.experiments.engine`): parallel fan-out (``--workers``), durable
+resume (``--db``/``--resume``), backend selection (``--backend
+oracle|netsim``) and arbitrary axis/parameter overrides (``--axis
+name=v1,v2``, ``--param name=value``).  ``campaign`` forwards to the
+scenario-campaign CLI unchanged; ``report`` re-aggregates a stored run
+without executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments._cli import emit_report, open_store, require_store_file
+from repro.experiments.engine import (
+    BACKENDS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import format_table
+
+_PROG = "python -m repro.experiments"
+
+
+def _parse_value(raw: str) -> object:
+    """Parse one CLI value: int, float, bool, None or bare string."""
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axis(raw: str) -> Tuple[str, Tuple[object, ...]]:
+    name, sep, values = raw.partition("=")
+    if not sep or not name.strip():
+        raise argparse.ArgumentTypeError(
+            f"axis override {raw!r} must look like name=v1,v2")
+    parsed = tuple(_parse_value(part) for part in values.split(",") if part.strip())
+    if not parsed:
+        raise argparse.ArgumentTypeError(f"axis override {raw!r} has no values")
+    return name.strip(), parsed
+
+
+def _parse_param(raw: str) -> Tuple[str, object]:
+    name, sep, value = raw.partition("=")
+    if not sep or not name.strip():
+        raise argparse.ArgumentTypeError(
+            f"parameter override {raw!r} must look like name=value")
+    return name.strip(), _parse_value(value)
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """Parser of the ``run`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog=f"{_PROG} run",
+        description="Run a registered experiment through the shared engine.",
+    )
+    parser.add_argument("experiment", help="experiment name (see 'list')")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend (default: the experiment's own)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; 1 = serial (default: 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment's base seed")
+    parser.add_argument("--axis", type=_parse_axis, action="append", default=[],
+                        metavar="NAME=V1,V2",
+                        help="override (or add) a swept axis; repeatable")
+    parser.add_argument("--param", type=_parse_param, action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="override a fixed parameter; repeatable")
+    parser.add_argument("--db", type=str, default=None, metavar="FILE",
+                        help="persist every completed cell to this SQLite results store")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already completed in --db; without it "
+                             "stored cells are re-run")
+    parser.add_argument("--max-new-runs", type=int, default=None, metavar="K",
+                        help="execute at most K missing cells this invocation")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    return parser
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    """Parser of the ``report`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog=f"{_PROG} report",
+        description="Re-aggregate a stored run from its SQLite results store "
+                    "without executing anything.  With --experiment the "
+                    "experiment's own report is rendered (byte-identical to "
+                    "the live run); without it every stored row is tabulated.",
+    )
+    parser.add_argument("--db", type=str, required=True, metavar="FILE",
+                        help="SQLite results store written by a --db run")
+    parser.add_argument("--experiment", type=str, default=None,
+                        help="render this experiment's report from the store")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="backend the stored run used (with --experiment)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed the stored run used (with --experiment)")
+    parser.add_argument("--axis", type=_parse_axis, action="append", default=[],
+                        metavar="NAME=V1,V2",
+                        help="axis overrides the stored run used (with --experiment)")
+    parser.add_argument("--param", type=_parse_param, action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="parameter overrides the stored run used (with --experiment)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    return parser
+
+
+def list_main(argv: Sequence[str]) -> int:
+    """Entry point of the ``list`` subcommand."""
+    argparse.ArgumentParser(
+        prog=f"{_PROG} list",
+        description="List the registered experiments.",
+    ).parse_args(argv)
+    rows = []
+    for definition in list_experiments():
+        axes = ", ".join(
+            f"{name}[{len(values)}]" for name, values in definition.axes.items()
+        ) or "-"
+        rows.append({
+            "experiment": definition.name,
+            "cells": len(definition.expand()),
+            "backend": definition.default_backend,
+            "axes": axes,
+            "description": definition.description,
+        })
+    print(format_table(rows, title="Registered experiments"))
+    return 0
+
+
+def run_main(argv: Sequence[str]) -> int:
+    """Entry point of the ``run`` subcommand."""
+    parser = build_run_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not args.db:
+        parser.error("--resume requires --db")
+    try:
+        get_experiment(args.experiment)
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+
+    store = None
+    if args.db:
+        store = open_store(args.db)
+        if store is None:
+            return 1
+    try:
+        result = run_experiment(
+            args.experiment,
+            backend=args.backend,
+            workers=args.workers,
+            store=store,
+            resume=args.resume,
+            max_new_runs=args.max_new_runs,
+            base_seed=args.seed,
+            axes=dict(args.axis) or None,
+            params=dict(args.param) or None,
+        )
+        if result.skipped_run_ids:
+            print(f"[resume] skipped {len(result.skipped_run_ids)} stored cells, "
+                  f"executed {len(result.executed_run_ids)}", file=sys.stderr)
+        report = result.format_report()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if store is not None:
+            store.close()
+    return emit_report(report, args.output)
+
+
+def report_main(argv: Sequence[str]) -> int:
+    """Entry point of the ``report`` subcommand."""
+    parser = build_report_parser()
+    args = parser.parse_args(argv)
+    if not require_store_file(args.db):
+        return 1
+    store = open_store(args.db)
+    if store is None:
+        return 1
+    with store:
+        if args.experiment:
+            try:
+                get_experiment(args.experiment)
+            except KeyError as error:
+                parser.error(str(error.args[0]))
+            # max_new_runs=0: expand + hash + stream from the store, never run.
+            try:
+                result = run_experiment(
+                    args.experiment,
+                    backend=args.backend,
+                    store=store,
+                    resume=True,
+                    max_new_runs=0,
+                    base_seed=args.seed,
+                    axes=dict(args.axis) or None,
+                    params=dict(args.param) or None,
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            report = result.format_report()
+        else:
+            rows = list(store.iter_rows())
+            report = format_table(rows, title=f"Stored rows — {args.db}")
+    return emit_report(report, args.output)
+
+
+_USAGE = f"""usage: {_PROG} <command> ...
+
+commands:
+  list        list the registered experiments
+  run         run one experiment (parallel fan-out, resume, backend swap)
+  campaign    run a declarative scenario campaign (full MANET grid)
+  report      re-aggregate a stored run/campaign without executing anything
+
+run '{_PROG} <command> --help' for the command's options."""
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE)
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "list":
+        return list_main(rest)
+    if command == "run":
+        return run_main(rest)
+    if command == "campaign":
+        from repro.experiments import campaign
+
+        return campaign.main(rest)
+    if command == "report":
+        return report_main(rest)
+    print(f"error: unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

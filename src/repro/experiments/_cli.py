@@ -1,0 +1,52 @@
+"""Helpers shared by the experiment CLIs.
+
+Both ``python -m repro.experiments`` and the standalone campaign CLI
+(``python -m repro.experiments.campaign``) open results stores and emit
+reports the same way; keeping the logic here stops the two front ends from
+drifting apart.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import sys
+from typing import Optional
+
+from repro.experiments.results import ResultsStore
+
+
+def open_store(path: str) -> Optional[ResultsStore]:
+    """Open a results store; prints the error and returns ``None`` on failure."""
+    try:
+        return ResultsStore(path)
+    except (OSError, ValueError, sqlite3.Error) as error:
+        print(f"error: cannot open results store {path}: {error}", file=sys.stderr)
+        return None
+
+
+def require_store_file(path: str) -> bool:
+    """Whether ``path`` is an existing store file; prints the error otherwise.
+
+    ``sqlite3.connect`` would silently *create* a fresh empty database on a
+    mistyped path and report "(no data)" with exit 0; reporting only makes
+    sense over a store that already exists.
+    """
+    if os.path.isfile(path):
+        return True
+    print(f"error: results store {path} does not exist", file=sys.stderr)
+    return False
+
+
+def emit_report(report: str, output: Optional[str]) -> int:
+    """Print ``report`` and optionally write it to ``output``; exit code."""
+    print(report)
+    if output:
+        try:
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        except OSError as error:
+            print(f"error: cannot write report to {output}: {error}",
+                  file=sys.stderr)
+            return 1
+    return 0

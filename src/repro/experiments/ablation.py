@@ -26,6 +26,7 @@ from repro.baselines.beta_reputation import BetaReputationSystem
 from repro.baselines.cap_olsr import CapOlsrDetector
 from repro.core.decision import DecisionOutcome, decide, unweighted_vote
 from repro.experiments.config import ScenarioConfig, paper_default_config
+from repro.experiments.engine import ExperimentDefinition, ExperimentSpec, register
 from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
 from repro.trust.confidence import margin_of_error
 
@@ -40,11 +41,12 @@ class MethodTrajectory:
     final_score: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat dictionary for tabular output."""
+        """Flat dictionary for tabular output (raw values; the report
+        formatter owns rounding)."""
         return {
             "method": self.method,
             "detection_round": self.detection_round,
-            "final_score": round(self.final_score, 4) if self.final_score is not None else None,
+            "final_score": self.final_score,
             "rounds": len(self.scores),
         }
 
@@ -77,7 +79,17 @@ def run_ablation(config: Optional[ScenarioConfig] = None) -> AblationResult:
     """Run the paper's scenario once and replay its answers through every method."""
     config = config or paper_default_config()
     experiment = RoundBasedExperiment(config)
-    run = experiment.run()
+    return replay_methods(experiment.run())
+
+
+def replay_methods(run: ExperimentResult) -> AblationResult:
+    """Replay one experiment's answer stream through every compared method.
+
+    The run may come from either backend — the oracle round loop or the full
+    netsim scenario — since both record the per-round answers the replay
+    consumes.
+    """
+    config = run.config
     attacker = run.attacker
 
     ours = MethodTrajectory(method="trust-weighted")
@@ -141,3 +153,18 @@ def run_ablation(config: Optional[ScenarioConfig] = None) -> AblationResult:
             t.method: t for t in (ours, unweighted, cap, beta, averaging)
         },
     )
+
+
+def _ablation_rows(spec: ExperimentSpec,
+                   result: ExperimentResult) -> List[Dict[str, object]]:
+    return replay_methods(result).as_rows()
+
+
+#: Engine registration: one scenario run, every method replayed on its
+#: answer stream (single cell).
+ABLATION_EXPERIMENT = register(ExperimentDefinition(
+    name="ablation",
+    description="trust weighting vs related-work baselines on one answer stream",
+    rows_from_result=_ablation_rows,
+    report_title="Ablation — detection round and final score per method",
+))

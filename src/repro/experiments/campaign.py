@@ -49,10 +49,7 @@ See ``--help`` for the full set of knobs (warm-up, cycles, seed, ...).
 from __future__ import annotations
 
 import argparse
-import os
-import sqlite3
 import sys
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -62,6 +59,8 @@ from repro.baselines.cap_olsr import CapOlsrDetector
 from repro.baselines.watchdog import WatchdogPathrater
 from repro.core.decision import DecisionOutcome
 from repro.core.signatures import LinkSpoofingVariant
+from repro.experiments._cli import emit_report, open_store, require_store_file
+from repro.experiments.engine import execute_pending_cells
 from repro.experiments.report import aggregate_rows, format_table, render_report
 from repro.experiments.results import ResultsStore, spec_content_hash
 from repro.experiments.scenario import build_manet_scenario
@@ -454,6 +453,10 @@ def run_campaign(
     campaign pick up where it stopped.  ``max_new_runs`` bounds how many
     *missing* cells this invocation executes (budgeted/chunked execution; the
     returned report then covers only the cells completed so far).
+
+    The fan-out itself is the experiment engine's shared executor
+    (:func:`repro.experiments.engine.execute_pending_cells`): cells commit
+    in completion order, so a kill mid-campaign loses only in-flight cells.
     """
     specs = grid.expand()
     hashes = [spec.content_hash() for spec in specs]
@@ -475,22 +478,7 @@ def run_campaign(
             store.record(spec, result.as_row(), spec_hash=digest)
         runs.append(result)
 
-    if workers is not None and workers > 1 and len(pending) > 1:
-        max_workers = min(workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as executor:
-            futures = {executor.submit(execute_spec, spec): (spec, digest)
-                       for spec, digest in pending}
-            remaining = set(futures)
-            # Commit each cell the moment it completes (not in submission
-            # order): a kill mid-campaign loses only the in-flight cells.
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    spec, digest = futures[future]
-                    _finish(spec, digest, future.result())
-    else:
-        for spec, digest in pending:
-            _finish(spec, digest, execute_spec(spec))
+    execute_pending_cells(pending, execute_spec, _finish, workers=workers)
 
     return CampaignResult(
         grid=grid,
@@ -579,44 +567,18 @@ def build_report_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _open_store(path: str) -> Optional[ResultsStore]:
-    """Open a results store for the CLI; prints the error and returns None on failure."""
-    try:
-        return ResultsStore(path)
-    except (OSError, ValueError, sqlite3.Error) as error:
-        print(f"error: cannot open results store {path}: {error}", file=sys.stderr)
-        return None
-
-
-def _emit_report(report: str, output: Optional[str]) -> int:
-    print(report)
-    if output:
-        try:
-            with open(output, "w", encoding="utf-8") as handle:
-                handle.write(report + "\n")
-        except OSError as error:
-            print(f"error: cannot write report to {output}: {error}",
-                  file=sys.stderr)
-            return 1
-    return 0
-
-
 def report_main(argv: Sequence[str]) -> int:
     """Entry point of the ``report`` subcommand."""
     args = build_report_parser().parse_args(argv)
-    # sqlite3.connect would silently *create* a fresh empty database on a
-    # mistyped path and report "(no data)" with exit 0; reporting only makes
-    # sense over a store that already exists.
-    if not os.path.isfile(args.db):
-        print(f"error: results store {args.db} does not exist", file=sys.stderr)
+    if not require_store_file(args.db):
         return 1
-    store = _open_store(args.db)
+    store = open_store(args.db)
     if store is None:
         return 1
     with store:
         result = CampaignResult(grid=None, store=store)
         report = result.format_report()
-    return _emit_report(report, args.output)
+    return emit_report(report, args.output)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -646,7 +608,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(str(error))
     store = None
     if args.db:
-        store = _open_store(args.db)
+        store = open_store(args.db)
         if store is None:
             return 1
     try:
@@ -659,7 +621,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if store is not None:
             store.close()
-    return _emit_report(report, args.output)
+    return emit_report(report, args.output)
 
 
 if __name__ == "__main__":

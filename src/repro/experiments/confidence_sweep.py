@@ -10,11 +10,12 @@ whether the final verdict is correct.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.decision import DecisionOutcome
 from repro.experiments.config import ScenarioConfig, paper_default_config
-from repro.experiments.rounds import RoundBasedExperiment
+from repro.experiments.engine import ExperimentDefinition, ExperimentSpec, register
+from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
 
 
 @dataclass
@@ -30,14 +31,15 @@ class ConfidenceSweepRow:
     verdict_correct: bool
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat dictionary for tabular output."""
+        """Flat dictionary for tabular output (raw values; the report
+        formatter owns rounding)."""
         return {
             "confidence_level": self.confidence_level,
             "gamma": self.gamma,
             "rounds_to_decision": self.rounds_to_decision,
             "final_outcome": str(self.final_outcome) if self.final_outcome else None,
-            "final_detect": round(self.final_detect, 4) if self.final_detect is not None else None,
-            "final_margin": round(self.final_margin, 4) if self.final_margin is not None else None,
+            "final_detect": self.final_detect,
+            "final_margin": self.final_margin,
             "verdict_correct": self.verdict_correct,
         }
 
@@ -71,30 +73,49 @@ def run_confidence_sweep(
     for confidence_level in confidence_levels:
         for gamma in gammas:
             config = base.with_overrides(confidence_level=confidence_level, gamma=gamma)
-            experiment = RoundBasedExperiment(config)
-            run = experiment.run()
-
-            rounds_to_decision: Optional[int] = None
-            final_outcome: Optional[DecisionOutcome] = None
-            final_detect: Optional[float] = None
-            final_margin: Optional[float] = None
-            for record in run.rounds:
-                if record.outcome is None:
-                    continue
-                final_outcome = record.outcome
-                final_detect = record.detect_value
-                final_margin = record.margin
-                if rounds_to_decision is None and record.outcome != DecisionOutcome.UNRECOGNIZED:
-                    rounds_to_decision = record.round_index
-            result.rows.append(
-                ConfidenceSweepRow(
-                    confidence_level=confidence_level,
-                    gamma=gamma,
-                    rounds_to_decision=rounds_to_decision,
-                    final_outcome=final_outcome,
-                    final_detect=final_detect,
-                    final_margin=final_margin,
-                    verdict_correct=final_outcome == DecisionOutcome.INTRUDER,
-                )
-            )
+            run = RoundBasedExperiment(config).run()
+            result.rows.append(sweep_row(confidence_level, gamma, run))
     return result
+
+
+def sweep_row(confidence_level: float, gamma: float,
+              run: ExperimentResult) -> ConfidenceSweepRow:
+    """Summarise one (confidence level, γ) run into its sweep row."""
+    rounds_to_decision: Optional[int] = None
+    final_outcome: Optional[DecisionOutcome] = None
+    final_detect: Optional[float] = None
+    final_margin: Optional[float] = None
+    for record in run.rounds:
+        if record.outcome is None:
+            continue
+        final_outcome = record.outcome
+        final_detect = record.detect_value
+        final_margin = record.margin
+        if rounds_to_decision is None and record.outcome != DecisionOutcome.UNRECOGNIZED:
+            rounds_to_decision = record.round_index
+    return ConfidenceSweepRow(
+        confidence_level=confidence_level,
+        gamma=gamma,
+        rounds_to_decision=rounds_to_decision,
+        final_outcome=final_outcome,
+        final_detect=final_detect,
+        final_margin=final_margin,
+        verdict_correct=final_outcome == DecisionOutcome.INTRUDER,
+    )
+
+
+def _confidence_rows(spec: ExperimentSpec,
+                     result: ExperimentResult) -> List[Dict[str, object]]:
+    row = sweep_row(float(spec.param("confidence_level")),
+                    float(spec.param("gamma")), result)
+    return [row.as_dict()]
+
+
+#: Engine registration: the (confidence level × γ) grid, one cell per pair.
+CONFIDENCE_SWEEP_EXPERIMENT = register(ExperimentDefinition(
+    name="confidence_sweep",
+    description="confidence level / γ sweep of the decision rule (ext. Table A)",
+    rows_from_result=_confidence_rows,
+    axes={"confidence_level": (0.90, 0.95, 0.99), "gamma": (0.4, 0.6, 0.8)},
+    report_title="Confidence sweep — decision rule vs confidence level and γ",
+))

@@ -108,6 +108,11 @@ def figure2_config(seed: int = 7, attack_stop_round: int = 25,
     return ScenarioConfig(seed=seed, rounds=rounds, attack_stop_round=attack_stop_round)
 
 
+#: Figure 3 liar-ratio labels (as quoted by the paper) → liar head-counts.
+#: Shared by the legacy sweep helper and the engine's ``figure3`` definition.
+FIGURE3_LIAR_COUNTS = {"6.7%": 1, "26.3%": 4, "43.2%": 6}
+
+
 def figure3_configs(seed: int = 7) -> dict:
     """Figure 3: liar-ratio sweep.
 
@@ -115,7 +120,6 @@ def figure3_configs(seed: int = 7) -> dict:
     values with a low-liar point for reference.
     """
     return {
-        "6.7%": ScenarioConfig(seed=seed, liar_count=1),
-        "26.3%": ScenarioConfig(seed=seed, liar_count=4),
-        "43.2%": ScenarioConfig(seed=seed, liar_count=6),
+        label: ScenarioConfig(seed=seed, liar_count=count)
+        for label, count in FIGURE3_LIAR_COUNTS.items()
     }

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.experiments.config import ScenarioConfig, paper_default_config
+from repro.experiments.engine import ExperimentDefinition, ExperimentSpec, register
 from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
 from repro.metrics.trust_metrics import TrustTrajectoryReport, total_change
 
@@ -55,7 +56,11 @@ class Figure1Result:
         )
 
     def rows(self) -> List[Dict[str, object]]:
-        """Tabular form: one row per node with initial/final trust and change."""
+        """Tabular form: one row per node with initial/final trust and change.
+
+        Values are *raw* — rounding happens only in the report formatter, so
+        aggregations over these rows average unbiased per-node metrics.
+        """
         rows = []
         for node in sorted(self.trajectories):
             trajectory = self.trajectories[node]
@@ -63,9 +68,9 @@ class Figure1Result:
                 {
                     "node": node,
                     "role": self.experiment.role_of(node),
-                    "initial_trust": round(self.experiment.initial_trust.get(node, 0.0), 4),
-                    "final_trust": round(trajectory[-1], 4) if trajectory else None,
-                    "change": round(total_change(trajectory), 4),
+                    "initial_trust": self.experiment.initial_trust.get(node, 0.0),
+                    "final_trust": trajectory[-1] if trajectory else None,
+                    "change": total_change(trajectory),
                 }
             )
         return rows
@@ -79,3 +84,22 @@ def run_figure1(config: Optional[ScenarioConfig] = None) -> Figure1Result:
     experiment = RoundBasedExperiment(config)
     result = experiment.run()
     return Figure1Result(experiment=result, trajectories=result.trust_trajectories())
+
+
+def _figure1_rows(spec: ExperimentSpec,
+                  result: ExperimentResult) -> List[Dict[str, object]]:
+    figure = Figure1Result(experiment=result,
+                           trajectories=result.trust_trajectories())
+    return figure.rows()
+
+
+#: Engine registration: the same scenario the legacy driver runs, expressed
+#: as a declarative spec (single cell; promote any fixed parameter — e.g.
+#: ``liar_count`` — to an axis at run time to sweep it).
+FIGURE1_EXPERIMENT = register(ExperimentDefinition(
+    name="figure1",
+    description="trust trajectories under a persistent attack (paper Fig. 1)",
+    rows_from_result=_figure1_rows,
+    fixed={"attack_stop_round": None},
+    report_title="Figure 1 — trustworthiness per node",
+))

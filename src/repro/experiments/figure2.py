@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.experiments.config import ScenarioConfig, figure2_config
+from repro.experiments.engine import ExperimentDefinition, ExperimentSpec, register
 from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
 from repro.metrics.trust_metrics import recovery_gap
 
@@ -42,7 +43,10 @@ class Figure2Result:
         return self.trajectories.get(node, [])[self.attack_stop_round:]
 
     def rows(self) -> List[Dict[str, object]]:
-        """Tabular form: per node, trust at the cut-over and at the end."""
+        """Tabular form: per node, trust at the cut-over and at the end.
+
+        Values are *raw* — rounding happens only in the report formatter.
+        """
         rows = []
         for node in sorted(self.trajectories):
             trajectory = self.trajectories[node]
@@ -55,9 +59,9 @@ class Figure2Result:
                 {
                     "node": node,
                     "role": self.experiment.role_of(node),
-                    "trust_at_attack_stop": round(at_stop, 4) if at_stop is not None else None,
-                    "final_trust": round(trajectory[-1], 4) if trajectory else None,
-                    "gap_to_default": round(recovery_gap(trajectory, self.default_trust), 4),
+                    "trust_at_attack_stop": at_stop,
+                    "final_trust": trajectory[-1] if trajectory else None,
+                    "gap_to_default": recovery_gap(trajectory, self.default_trust),
                 }
             )
         return rows
@@ -76,3 +80,29 @@ def run_figure2(config: Optional[ScenarioConfig] = None) -> Figure2Result:
         attack_stop_round=config.attack_stop_round,
         default_trust=config.trust.default_trust,
     )
+
+
+def _figure2_rows(spec: ExperimentSpec,
+                  result: ExperimentResult) -> List[Dict[str, object]]:
+    config = result.config
+    attack_stop = config.attack_stop_round
+    if attack_stop is None:
+        attack_stop = max(2, config.rounds // 4)
+    figure = Figure2Result(
+        experiment=result,
+        trajectories=result.trust_trajectories(),
+        attack_stop_round=attack_stop,
+        default_trust=config.trust.default_trust,
+    )
+    return figure.rows()
+
+
+#: Engine registration: the Figure 1 attack phase followed by misconduct-free
+#: rounds (single cell; the stop round and horizon are overridable params).
+FIGURE2_EXPERIMENT = register(ExperimentDefinition(
+    name="figure2",
+    description="forgetting-factor recovery after the attack stops (paper Fig. 2)",
+    rows_from_result=_figure2_rows,
+    fixed={"rounds": 75, "attack_stop_round": 25},
+    report_title="Figure 2 — trust recovery under the forgetting factor",
+))

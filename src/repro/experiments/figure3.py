@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.config import ScenarioConfig, figure3_configs
+from repro.experiments.config import (
+    FIGURE3_LIAR_COUNTS,
+    ScenarioConfig,
+    figure3_configs,
+)
+from repro.experiments.engine import ExperimentDefinition, ExperimentSpec, register
 from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
 from repro.metrics.detection import convergence_round
 
@@ -50,21 +55,13 @@ class Figure3Result:
         }
 
     def rows(self) -> List[Dict[str, object]]:
-        """Tabular form: per liar ratio, convergence round and final value."""
-        convergence = self.convergence_rounds()
-        finals = self.final_values()
+        """Tabular form: per liar ratio, convergence round and final value.
+
+        Values are *raw* — rounding happens only in the report formatter.
+        """
         rows = []
         for label in sorted(self.experiments, key=_ratio_sort_key):
-            result = self.experiments[label]
-            rows.append(
-                {
-                    "liar_ratio": label,
-                    "liar_count": len(result.liars),
-                    "responders": len(result.responders),
-                    "round_below_-0.4": convergence[label],
-                    "final_detect": round(finals[label], 4),
-                }
-            )
+            rows.append(_figure3_row(label, self.experiments[label]))
         return rows
 
 
@@ -75,6 +72,18 @@ def _ratio_sort_key(label: str) -> float:
         return 0.0
 
 
+def _figure3_row(label: str, result: ExperimentResult) -> Dict[str, object]:
+    """One summary row of Figure 3 (computed per liar-ratio cell)."""
+    series = [v for v in result.detect_trajectory() if v is not None]
+    return {
+        "liar_ratio": label,
+        "liar_count": len(result.liars),
+        "responders": len(result.responders),
+        "round_below_-0.4": convergence_round(series, -0.4, below=True),
+        "final_detect": series[-1] if series else 0.0,
+    }
+
+
 def run_figure3(configs: Optional[Dict[str, ScenarioConfig]] = None) -> Figure3Result:
     """Run the liar-ratio sweep (paper Figure 3)."""
     configs = configs or figure3_configs()
@@ -83,3 +92,37 @@ def run_figure3(configs: Optional[Dict[str, ScenarioConfig]] = None) -> Figure3R
         experiment = RoundBasedExperiment(config)
         experiments[label] = experiment.run()
     return Figure3Result(experiments=experiments)
+
+
+def _resolve_figure3_params(params: Dict[str, object]) -> Dict[str, object]:
+    """Map the ``liar_ratio`` axis label to a concrete liar sizing.
+
+    Paper labels resolve through :data:`FIGURE3_LIAR_COUNTS`; any other
+    ``"X%"`` label becomes a ``liar_fraction`` so the axis accepts arbitrary
+    sweep points (e.g. ``--axis "liar_ratio=10%,50%"``).
+    """
+    label = params.get("liar_ratio")
+    if label is not None and "liar_count" not in params:
+        if label in FIGURE3_LIAR_COUNTS:
+            params["liar_count"] = FIGURE3_LIAR_COUNTS[label]
+        else:
+            params["liar_fraction"] = float(str(label).rstrip("%")) / 100.0
+    params.pop("liar_ratio", None)
+    return params
+
+
+def _figure3_rows(spec: ExperimentSpec,
+                  result: ExperimentResult) -> List[Dict[str, object]]:
+    return [_figure3_row(str(spec.param("liar_ratio")), result)]
+
+
+#: Engine registration: one cell per liar-ratio label, all sharing the base
+#: scenario seed so the cells differ only by how many responders collude.
+FIGURE3_EXPERIMENT = register(ExperimentDefinition(
+    name="figure3",
+    description="liar-ratio sweep of the detection aggregate (paper Fig. 3)",
+    rows_from_result=_figure3_rows,
+    axes={"liar_ratio": tuple(FIGURE3_LIAR_COUNTS)},
+    resolve_params=_resolve_figure3_params,
+    report_title="Figure 3 — impact of liars on the detection",
+))

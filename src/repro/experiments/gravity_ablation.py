@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.decision import DecisionOutcome
 from repro.experiments.config import ScenarioConfig, paper_default_config
-from repro.experiments.rounds import RoundBasedExperiment
+from repro.experiments.engine import ExperimentDefinition, ExperimentSpec, register
+from repro.experiments.rounds import ExperimentResult, RoundBasedExperiment
 
 
 @dataclass
@@ -36,16 +37,17 @@ class GravityRow:
     honest_collateral: float
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat row for tabular output."""
+        """Flat row for tabular output (raw values; the report formatter
+        owns rounding)."""
         return {
             "alpha_harmful": self.alpha_harmful,
             "alpha_beneficial": self.alpha_beneficial,
-            "asymmetry": round(self.asymmetry, 2),
+            "asymmetry": self.asymmetry,
             "detection_round": self.detection_round,
-            "final_detect": round(self.final_detect, 3),
-            "mean_liar_trust": round(self.mean_final_liar_trust, 3),
-            "mean_honest_trust": round(self.mean_final_honest_trust, 3),
-            "honest_collateral": round(self.honest_collateral, 3),
+            "final_detect": self.final_detect,
+            "mean_liar_trust": self.mean_final_liar_trust,
+            "mean_honest_trust": self.mean_final_honest_trust,
+            "honest_collateral": self.honest_collateral,
         }
 
 
@@ -79,31 +81,55 @@ def run_gravity_ablation(
                                alpha_beneficial=beneficial_alpha)
         config = base.with_overrides(trust=trust_params)
         run = RoundBasedExperiment(config).run()
-
-        detection_round = None
-        for record in run.rounds:
-            if record.outcome == DecisionOutcome.INTRUDER:
-                detection_round = record.round_index
-                break
-
-        liar_finals = [run.trust_trajectory(l)[-1] for l in run.liars]
-        honest_finals = [run.trust_trajectory(h)[-1] for h in run.honest_responders]
-        honest_initials = [run.initial_trust[h] for h in run.honest_responders]
-        collateral = sum(
-            max(0.0, initial - final)
-            for initial, final in zip(honest_initials, honest_finals)
-        ) / len(honest_finals)
-
-        result.rows.append(
-            GravityRow(
-                alpha_harmful=alpha_harmful,
-                alpha_beneficial=beneficial_alpha,
-                asymmetry=alpha_harmful / beneficial_alpha,
-                detection_round=detection_round,
-                final_detect=run.detect_values()[-1],
-                mean_final_liar_trust=sum(liar_finals) / len(liar_finals),
-                mean_final_honest_trust=sum(honest_finals) / len(honest_finals),
-                honest_collateral=collateral,
-            )
-        )
+        result.rows.append(gravity_row(run, alpha_harmful, beneficial_alpha))
     return result
+
+
+def gravity_row(run: ExperimentResult, alpha_harmful: float,
+                alpha_beneficial: float) -> GravityRow:
+    """Summarise one gravity-weighting run into its sweep row."""
+    detection_round = None
+    for record in run.rounds:
+        if record.outcome == DecisionOutcome.INTRUDER:
+            detection_round = record.round_index
+            break
+
+    liar_finals = [run.trust_trajectory(l)[-1] for l in run.liars]
+    honest_finals = [run.trust_trajectory(h)[-1] for h in run.honest_responders]
+    honest_initials = [run.initial_trust.get(h, 0.0) for h in run.honest_responders]
+    collateral = sum(
+        max(0.0, initial - final)
+        for initial, final in zip(honest_initials, honest_finals)
+    ) / len(honest_finals)
+
+    detect_values = run.detect_values()
+    return GravityRow(
+        alpha_harmful=alpha_harmful,
+        alpha_beneficial=alpha_beneficial,
+        asymmetry=alpha_harmful / alpha_beneficial,
+        detection_round=detection_round,
+        final_detect=detect_values[-1] if detect_values else 0.0,
+        mean_final_liar_trust=sum(liar_finals) / len(liar_finals),
+        mean_final_honest_trust=sum(honest_finals) / len(honest_finals),
+        honest_collateral=collateral,
+    )
+
+
+def _gravity_rows(spec: ExperimentSpec,
+                  result: ExperimentResult) -> List[Dict[str, object]]:
+    row = gravity_row(result,
+                      float(spec.param("trust_alpha_harmful")),
+                      float(spec.param("trust_alpha_beneficial")))
+    return [row.as_dict()]
+
+
+#: Engine registration: the harmful-weight sweep, one cell per α⁻ (the
+#: ``trust_`` prefix routes the axis into ``TrustParameters``).
+GRAVITY_ABLATION_EXPERIMENT = register(ExperimentDefinition(
+    name="gravity_ablation",
+    description="evidence-gravity weighting sweep (paper Sec. VII future work)",
+    rows_from_result=_gravity_rows,
+    axes={"trust_alpha_harmful": (0.02, 0.04, 0.08, 0.16)},
+    fixed={"trust_alpha_beneficial": 0.04},
+    report_title="Gravity ablation — harmful/beneficial weighting asymmetry",
+))

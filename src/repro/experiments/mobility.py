@@ -6,26 +6,23 @@ full-stack MANET scenario is run with random-waypoint mobility at increasing
 speeds, and the experiment measures how node movement degrades the
 investigation (unreachable responders, missing answers) and how the detection
 aggregate and the attacker's trust respond.
+
+The sweep executes on the engine's ``netsim`` backend
+(:func:`repro.experiments.backends.run_netsim_cell` over
+:func:`repro.experiments.scenario.build_manet_scenario`) — the same substrate
+the scenario campaign uses — rather than a private scenario builder, so loss
+models, attack variants and every other campaign axis compose with the speed
+sweep for free.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.attacks.liar import LiarBehavior
-from repro.attacks.link_spoofing import LinkSpoofingAttack
-from repro.attacks.scenario import AttackScenario
-from repro.core.detector_node import DetectionConfig, DetectorNode
-from repro.core.signatures import LinkSpoofingVariant
-from repro.netsim.engine import Simulator
-from repro.netsim.medium import UnitDiskPropagation, WirelessMedium
-from repro.netsim.mobility import RandomWaypointMobility, UniformRandomPlacement
-from repro.netsim.network import Network
-from repro.olsr.constants import Willingness
-from repro.olsr.node import OlsrConfig
-from repro.seeding import stable_digest
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.engine import ExperimentDefinition, ExperimentSpec, register
+from repro.experiments.rounds import ExperimentResult
 
 
 @dataclass
@@ -41,18 +38,16 @@ class MobilityRunResult:
     missing_answer_ratio: float
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat row for tabular output."""
+        """Flat row for tabular output (raw values; the report formatter
+        owns rounding)."""
         return {
             "max_speed_m_s": self.max_speed,
             "cycles": self.detection_cycles,
             "attacker_investigated": self.attacker_investigated,
-            "final_detect": round(self.final_detect, 3) if self.final_detect is not None else None,
-            "attacker_trust": (
-                round(self.final_attacker_trust, 3)
-                if self.final_attacker_trust is not None else None
-            ),
-            "unreached_ratio": round(self.unreached_ratio, 3),
-            "missing_answer_ratio": round(self.missing_answer_ratio, 3),
+            "final_detect": self.final_detect,
+            "attacker_trust": self.final_attacker_trust,
+            "unreached_ratio": self.unreached_ratio,
+            "missing_answer_ratio": self.missing_answer_ratio,
         }
 
 
@@ -72,62 +67,32 @@ class MobilityStudyResult:
         return all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))
 
 
-def _build_mobile_scenario(max_speed: float, seed: int, node_count: int,
-                           liar_count: int, area_size: float,
-                           radio_range: float, attack_start: float):
-    simulator = Simulator()
-    rng = random.Random(seed)
-    medium = WirelessMedium(
-        simulator,
-        propagation=UnitDiskPropagation(radio_range=radio_range),
+def mobility_run(max_speed: float, result: ExperimentResult) -> MobilityRunResult:
+    """Summarise one netsim run into its mobility row.
+
+    ``result`` is the backend's record stream: one record per detection
+    cycle, with the attacker's answers and the count of unreachable
+    responders attached to the cycles where the attacker was investigated.
+    """
+    attacker_records = [r for r in result.rounds if r.detect_value is not None]
+    total_answers = sum(len(r.answers) for r in attacker_records)
+    missing_answers = sum(
+        1 for r in attacker_records for v in r.answers.values() if v == 0.0)
+    unreached = sum(r.unreached for r in attacker_records)
+
+    last_snapshot = result.rounds[-1].trust_snapshot if result.rounds else {}
+    final_trust = last_snapshot.get(result.attacker,
+                                    result.config.trust.default_trust)
+    return MobilityRunResult(
+        max_speed=max_speed,
+        detection_cycles=len(attacker_records),
+        attacker_investigated=bool(attacker_records),
+        final_detect=(attacker_records[-1].detect_value
+                      if attacker_records else None),
+        final_attacker_trust=final_trust,
+        unreached_ratio=(unreached / total_answers) if total_answers else 0.0,
+        missing_answer_ratio=(missing_answers / total_answers) if total_answers else 0.0,
     )
-    if max_speed > 0:
-        mobility = RandomWaypointMobility(
-            width=area_size, height=area_size,
-            min_speed=max(0.5, max_speed / 4.0), max_speed=max_speed,
-            pause_time=2.0, rng=random.Random(seed + 2),
-        )
-    else:
-        mobility = UniformRandomPlacement(width=area_size, height=area_size,
-                                          rng=random.Random(seed + 2))
-    network = Network(simulator=simulator, medium=medium, mobility=mobility, seed=seed)
-    node_ids = [f"n{i:02d}" for i in range(node_count)]
-    network.add_nodes(node_ids)
-
-    attacker_id = node_ids[1]
-    nodes: Dict[str, DetectorNode] = {}
-    for node_id in node_ids:
-        willingness = Willingness.WILL_HIGH if node_id == attacker_id else Willingness.WILL_DEFAULT
-        nodes[node_id] = DetectorNode(
-            node_id, network,
-            olsr_config=OlsrConfig(willingness=willingness),
-            detection_config=DetectionConfig(),
-            seed=rng.randint(0, 2 ** 31),
-        )
-
-    attacker_neighbors = network.neighbors_of(attacker_id)
-    victim_id = (max(attacker_neighbors, key=lambda n: (len(network.neighbors_of(n)), n))
-                 if attacker_neighbors else node_ids[0])
-    non_neighbors = [n for n in node_ids
-                     if n not in attacker_neighbors and n not in (attacker_id, victim_id)]
-    rng.shuffle(non_neighbors)
-    spoof_targets = non_neighbors[: max(3, node_count // 3)] or ["phantom"]
-
-    scenario = AttackScenario(name=f"mobility-{max_speed}")
-    attack = LinkSpoofingAttack(LinkSpoofingVariant.FALSE_EXISTING_LINK, spoof_targets)
-    attack.schedule.start_time = attack_start
-    scenario.add(attacker_id, attack)
-    candidates = [n for n in node_ids if n not in (attacker_id, victim_id)]
-    rng.shuffle(candidates)
-    for liar_id in candidates[:liar_count]:
-        scenario.add(liar_id, LiarBehavior(protected_suspects={attacker_id},
-                                           rng=random.Random(seed + stable_digest(liar_id) % 997)))
-    scenario.install_all(nodes)
-
-    for node in nodes.values():
-        node.start()
-        node.bind_default_transport(nodes)
-    return network, nodes, victim_id, attacker_id
 
 
 def run_mobility_study(
@@ -143,38 +108,49 @@ def run_mobility_study(
     cycle_length: float = 10.0,
 ) -> MobilityStudyResult:
     """Run the mobility sweep and return one row per maximum speed."""
+    from repro.experiments.backends import run_netsim_cell
+
     result = MobilityStudyResult()
     for max_speed in speeds:
-        network, nodes, victim_id, attacker_id = _build_mobile_scenario(
-            max_speed, seed, node_count, liar_count, area_size, radio_range, attack_start)
-        victim = nodes[victim_id]
-        network.run(until=warmup)
-        victim.detection_round()
-
-        attacker_rounds = []
-        total_answers = 0
-        missing_answers = 0
-        unreached = 0
-        for _ in range(cycles):
-            network.run(until=network.now + cycle_length)
-            for round_result in victim.detection_round():
-                if round_result.suspect != attacker_id:
-                    continue
-                attacker_rounds.append(round_result)
-                total_answers += len(round_result.answers)
-                missing_answers += sum(1 for v in round_result.answers.values() if v == 0.0)
-                unreached += len(round_result.responders_unreached)
-
-        final_detect = attacker_rounds[-1].decision.detect_value if attacker_rounds else None
-        result.runs.append(
-            MobilityRunResult(
-                max_speed=max_speed,
-                detection_cycles=len(attacker_rounds),
-                attacker_investigated=bool(attacker_rounds),
-                final_detect=final_detect,
-                final_attacker_trust=victim.trust.trust_of(attacker_id),
-                unreached_ratio=(unreached / total_answers) if total_answers else 0.0,
-                missing_answer_ratio=(missing_answers / total_answers) if total_answers else 0.0,
-            )
-        )
+        config = ScenarioConfig(total_nodes=node_count, liar_count=liar_count,
+                                seed=seed)
+        run = run_netsim_cell(config, {
+            "max_speed": max_speed,
+            "area_size": area_size,
+            "radio_range": radio_range,
+            "warmup": warmup,
+            "attack_start": attack_start,
+            "cycles": cycles,
+            "cycle_length": cycle_length,
+        })
+        result.runs.append(mobility_run(max_speed, run))
     return result
+
+
+def _mobility_rows(spec: ExperimentSpec,
+                   result: ExperimentResult) -> List[Dict[str, object]]:
+    return [mobility_run(float(spec.param("max_speed", 0.0)), result).as_dict()]
+
+
+#: Engine registration: the random-waypoint speed sweep on the full MANET
+#: stack (netsim default; the oracle backend has no motion, so running this
+#: spec there degenerates to identical static cells).
+MOBILITY_EXPERIMENT = register(ExperimentDefinition(
+    name="mobility",
+    description="impact of random-waypoint mobility on the detection (Sec. VII)",
+    rows_from_result=_mobility_rows,
+    axes={"max_speed": (0.0, 2.0, 5.0, 10.0)},
+    fixed={
+        "total_nodes": 16,
+        "liar_count": 4,
+        "area_size": 800.0,
+        "radio_range": 250.0,
+        "warmup": 35.0,
+        "attack_start": 40.0,
+        "cycles": 8,
+        "cycle_length": 10.0,
+    },
+    default_backend="netsim",
+    base_seed=23,
+    report_title="Mobility — investigation degradation vs node speed",
+))

@@ -63,11 +63,14 @@ import hashlib
 import json
 import sqlite3
 from dataclasses import asdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
 
-#: Bump when the row/spec encoding changes; part of every content hash, so a
-#: store written by an older encoding is never silently reused.
-SCHEMA_VERSION = 1
+#: Bump when the row/spec encoding changes *or* when the simulation an
+#: identical spec produces changes (e.g. RNG-derivation fixes); part of every
+#: content hash, so a store written by an older encoding is never silently
+#: reused.  2: unified-engine PR — stable_seed derivations replaced the ad-hoc
+#: seed arithmetic, so pre-PR rows no longer match what their specs produce.
+SCHEMA_VERSION = 2
 
 
 def spec_content_hash(spec) -> str:
@@ -145,12 +148,15 @@ class ResultsStore:
         self.close()
 
     # -------------------------------------------------------------- writing
-    def record(self, spec, row: Dict[str, object],
+    def record(self, spec, row: Union[Dict[str, object], List[Dict[str, object]]],
                spec_hash: Optional[str] = None) -> str:
         """Persist one completed cell; returns its content hash.
 
-        Overwrites any previous row under the same hash (identical spec →
-        identical simulation, so a replace is always an idempotent refresh).
+        ``row`` is either one flat dict (a campaign cell) or a list of dicts
+        (an engine cell whose experiment emits several rows — e.g. one per
+        node); :meth:`iter_rows` flattens both transparently.  Overwrites any
+        previous row under the same hash (identical spec → identical
+        simulation, so a replace is always an idempotent refresh).
         """
         digest = spec_hash or spec_content_hash(spec)
         self._connection.execute(
@@ -205,8 +211,9 @@ class ResultsStore:
         )
         return {row[0] for row in cursor}
 
-    def get_row(self, spec_hash: str) -> Optional[Dict[str, object]]:
-        """The stored result row of one cell, or ``None`` when absent."""
+    def get_row(self, spec_hash: str) -> Optional[
+            Union[Dict[str, object], List[Dict[str, object]]]]:
+        """The stored result row(s) of one cell, or ``None`` when absent."""
         record = self._connection.execute(
             "SELECT row_json FROM runs WHERE spec_hash = ?", (spec_hash,)
         ).fetchone()
@@ -218,9 +225,11 @@ class ResultsStore:
         """Stream result rows ordered by ``run_id`` (then hash, for stability).
 
         ``hashes`` restricts the stream to one campaign's cells — a store may
-        hold several campaigns side by side.  The rows come straight off the
-        SQLite cursor, so memory stays constant regardless of campaign size
-        (apart from the hash filter set itself).
+        hold several campaigns side by side.  Multi-row cells (engine
+        experiments) are flattened into the stream.  The rows come straight
+        off the SQLite cursor, so memory stays constant regardless of
+        campaign size (apart from the hash filter set itself and one cell's
+        rows at a time).
         """
         wanted = set(hashes) if hashes is not None else None
         cursor = self._connection.execute(
@@ -228,4 +237,8 @@ class ResultsStore:
         )
         for spec_hash, row_json in cursor:
             if wanted is None or spec_hash in wanted:
-                yield json.loads(row_json)
+                decoded = json.loads(row_json)
+                if isinstance(decoded, list):
+                    yield from decoded
+                else:
+                    yield decoded

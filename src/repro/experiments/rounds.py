@@ -25,7 +25,7 @@ from repro.attacks.liar import LiarBehavior
 from repro.core.decision import DecisionOutcome
 from repro.core.investigation import CooperativeInvestigator, OracleTransport, RoundResult
 from repro.experiments.config import ScenarioConfig
-from repro.seeding import stable_digest
+from repro.seeding import stable_seed
 from repro.trust.manager import TrustManager
 from repro.trust.recommendation import RecommendationManager
 
@@ -67,6 +67,9 @@ class RoundRecord:
     margin: Optional[float]
     trust_snapshot: Dict[str, float] = field(default_factory=dict)
     answers: Dict[str, float] = field(default_factory=dict)
+    #: Responders no query path could reach this round (netsim backend; the
+    #: oracle transport reaches everyone, so it stays 0 there).
+    unreached: int = 0
 
 
 @dataclass
@@ -80,6 +83,8 @@ class ExperimentResult:
     honest_responders: Set[str]
     rounds: List[RoundRecord] = field(default_factory=list)
     initial_trust: Dict[str, float] = field(default_factory=dict)
+    #: Substrate statistics (frames, events) — filled by the netsim backend.
+    stats: Dict[str, float] = field(default_factory=dict)
 
     # ----------------------------------------------------------------- views
     @property
@@ -150,7 +155,7 @@ class RoundBasedExperiment:
         self.transport = OracleTransport(
             self._responders,
             loss_probability=self.config.answer_loss_probability,
-            rng=random.Random(self.config.seed + 1),
+            rng=random.Random(stable_seed(self.config.seed, "oracle-transport")),
         )
         self.investigator = CooperativeInvestigator(
             owner=self.investigator_id,
@@ -175,10 +180,13 @@ class RoundBasedExperiment:
         for node_id in self.responder_ids:
             liar: Optional[LiarBehavior] = None
             if node_id in self.liar_ids:
+                # stable_seed keeps the liar streams disjoint per node: the
+                # old additive ``seed + digest % 1000`` capped the offset at
+                # 1000, so distinct liars could collide on one RNG stream.
                 liar = LiarBehavior(
                     protected_suspects={self.attacker_id},
                     lie_probability=1.0,
-                    rng=random.Random(self.config.seed + stable_digest(node_id) % 1000),
+                    rng=random.Random(stable_seed(self.config.seed, f"liar:{node_id}")),
                 )
                 self._liar_behaviors[node_id] = liar
             self._responders[node_id] = _Responder(node_id, honest_answer, liar)
@@ -232,6 +240,7 @@ class RoundBasedExperiment:
                 outcome=round_result.decision.outcome,
                 margin=round_result.decision.interval.margin,
                 answers=dict(round_result.answers),
+                unreached=len(round_result.responders_unreached),
             )
         else:
             # No contested link: the trust values evolve under forgetting only.

@@ -45,7 +45,7 @@ from repro.netsim.network import Network
 from repro.netsim.engine import Simulator
 from repro.olsr.constants import Willingness
 from repro.olsr.node import OlsrConfig
-from repro.seeding import stable_digest
+from repro.seeding import stable_seed
 
 
 @dataclass
@@ -125,7 +125,8 @@ def build_canonical_scenario(
     medium = WirelessMedium(
         simulator,
         propagation=UnitDiskPropagation(radio_range=250.0),
-        loss_model=BernoulliLossModel(loss_probability, rng=random.Random(seed + 1)),
+        loss_model=BernoulliLossModel(
+            loss_probability, rng=random.Random(stable_seed(seed, "loss-model"))),
     )
     network = Network(
         simulator=simulator,
@@ -170,15 +171,21 @@ def build_canonical_scenario(
 
 def _build_loss_model(kind: str, loss_probability: float, radio_range: float,
                       seed: int) -> LossModel:
-    """Instantiate the named loss model with a seed-derived RNG."""
+    """Instantiate the named loss model with a stably derived RNG.
+
+    ``stable_seed`` (not an additive offset) keeps the channel stream
+    decorrelated from the scenario stream and from sibling campaign cells
+    whose base seeds differ by small constants.
+    """
+    rng = random.Random(stable_seed(seed, "loss-model"))
     if kind == "bernoulli":
-        return BernoulliLossModel(loss_probability, rng=random.Random(seed + 1))
+        return BernoulliLossModel(loss_probability, rng=rng)
     if kind == "distance":
         # loss_probability doubles as the distance model's max_loss, including
         # an explicit 0.0 (a lossless distance channel).
         return DistanceLossModel(radio_range=radio_range,
                                  max_loss=max(loss_probability, 0.0),
-                                 rng=random.Random(seed + 1))
+                                 rng=rng)
     raise ValueError(f"unknown loss model {kind!r} (expected 'bernoulli' or 'distance')")
 
 
@@ -220,15 +227,16 @@ def build_manet_scenario(
         propagation=UnitDiskPropagation(radio_range=radio_range),
         loss_model=_build_loss_model(loss_model, loss_probability, radio_range, seed),
     )
+    mobility_rng = random.Random(stable_seed(seed, "mobility"))
     if max_speed > 0.0:
         mobility = RandomWaypointMobility(
             width=area_size, height=area_size,
             min_speed=max(0.5, max_speed / 4.0), max_speed=max_speed,
-            pause_time=2.0, rng=random.Random(seed + 2),
+            pause_time=2.0, rng=mobility_rng,
         )
     else:
         mobility = UniformRandomPlacement(width=area_size, height=area_size,
-                                          rng=random.Random(seed + 2))
+                                          rng=mobility_rng)
     network = Network(
         simulator=simulator,
         medium=medium,
@@ -288,8 +296,11 @@ def build_manet_scenario(
     rng.shuffle(candidates)
     liar_ids = set(candidates[:liar_count])
     for liar_id in sorted(liar_ids):
+        # stable_seed keeps the per-liar streams disjoint: the old additive
+        # ``seed + digest % 997`` capped the offset, allowing two liars to
+        # collide on the same RNG stream.
         liar = LiarBehavior(protected_suspects={attacker_id},
-                            rng=random.Random(seed + stable_digest(liar_id) % 997))
+                            rng=random.Random(stable_seed(seed, f"liar:{liar_id}")))
         scenario.add(liar_id, liar)
 
     scenario.install_all(nodes)

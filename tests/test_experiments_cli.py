@@ -1,0 +1,125 @@
+"""Tests for the unified ``python -m repro.experiments`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import (
+    _parse_axis,
+    _parse_param,
+    _parse_value,
+    main,
+)
+
+
+def test_parse_value_types():
+    assert _parse_value("3") == 3
+    assert _parse_value("0.25") == 0.25
+    assert _parse_value("true") is True
+    assert _parse_value("None") is None
+    assert _parse_value("6.7%") == "6.7%"
+
+
+def test_parse_axis_and_param():
+    assert _parse_axis("gamma=0.4,0.6") == ("gamma", (0.4, 0.6))
+    assert _parse_param("rounds=5") == ("rounds", 5)
+    with pytest.raises(Exception):
+        _parse_axis("gamma")
+    with pytest.raises(Exception):
+        _parse_param("rounds")
+
+
+def test_cli_list_names_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("figure1", "figure2", "figure3", "ablation",
+                 "confidence_sweep", "gravity_ablation", "mobility"):
+        assert name in out
+
+
+def test_cli_usage_and_unknown_command(capsys):
+    assert main([]) == 2
+    assert main(["--help"]) == 0
+    assert main(["frobnicate"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_run_is_deterministic_across_invocations(tmp_path, capsys):
+    argv = ["run", "figure3", "--param", "rounds=5"]
+    outputs = []
+    for name in ("a.txt", "b.txt"):
+        path = tmp_path / name
+        assert main(argv + ["--output", str(path)]) == 0
+    outputs = [(tmp_path / n).read_bytes() for n in ("a.txt", "b.txt")]
+    assert outputs[0] == outputs[1]
+    assert b"liar_ratio" in outputs[0]
+    capsys.readouterr()
+
+
+def test_cli_run_axis_override_and_workers(tmp_path, capsys):
+    out = tmp_path / "sweep.txt"
+    assert main(["run", "confidence_sweep", "--axis", "gamma=0.6",
+                 "--param", "rounds=5", "--workers", "2",
+                 "--output", str(out)]) == 0
+    text = out.read_text()
+    assert "0.6" in text
+    assert text.count("\n") < 12  # 3 confidence levels x 1 gamma only
+    capsys.readouterr()
+
+
+def test_cli_run_db_resume_and_report_byte_identical(tmp_path, capsys):
+    db = str(tmp_path / "sweep.sqlite")
+    out_a, out_b, out_c = (tmp_path / n for n in ("a.txt", "b.txt", "c.txt"))
+    argv = ["run", "confidence_sweep", "--param", "rounds=5", "--db", db]
+    assert main(argv + ["--output", str(out_a)]) == 0
+    assert main(argv + ["--resume", "--output", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    # The report subcommand re-renders from the store, executing nothing.
+    assert main(["report", "--db", db, "--experiment", "confidence_sweep",
+                 "--param", "rounds=5", "--output", str(out_c)]) == 0
+    assert out_c.read_bytes() == out_a.read_bytes()
+    capsys.readouterr()
+
+
+def test_cli_generic_report_tabulates_stored_rows(tmp_path, capsys):
+    db = str(tmp_path / "f3.sqlite")
+    assert main(["run", "figure3", "--param", "rounds=5", "--db", db]) == 0
+    capsys.readouterr()
+    assert main(["report", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "Stored rows" in out
+    assert "6.7%" in out
+
+
+def test_cli_run_resume_requires_db(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "figure1", "--resume"])
+    capsys.readouterr()
+
+
+def test_cli_run_unknown_experiment_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "no_such_experiment"])
+    capsys.readouterr()
+
+
+def test_cli_run_typo_in_param_fails_fast(capsys):
+    assert main(["run", "figure3", "--param", "cycels=4"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown parameter 'cycels'" in err
+
+
+def test_cli_report_missing_db_is_an_error(tmp_path, capsys):
+    missing = tmp_path / "nope.sqlite"
+    assert main(["report", "--db", str(missing)]) == 1
+    # A mistyped path must not be silently created as an empty store.
+    assert not missing.exists()
+    capsys.readouterr()
+
+
+def test_cli_campaign_subcommand_forwards(tmp_path, capsys):
+    out = tmp_path / "campaign.txt"
+    assert main(["campaign", "--node-counts", "8", "--cycles", "1",
+                 "--warmup", "20", "--output", str(out)]) == 0
+    assert b"Campaign" in out.read_bytes()
+    capsys.readouterr()

@@ -114,15 +114,16 @@ def test_same_seed_builds_identical_liar_rngs():
     assert liar_draws(first) == liar_draws(second)
 
 
-def test_liar_rng_seeds_use_stable_digest():
-    """The CRC32 offsets themselves are fixed constants, not hash-salted."""
-    from repro.seeding import stable_digest
+def test_liar_rng_seeds_use_stable_seed():
+    """Liar RNGs derive via ``stable_seed`` — fixed constants, no hash salt,
+    and no modulus cap that could collide two liars on one stream."""
+    from repro.seeding import stable_seed
 
     scenario = build_manet_scenario(node_count=12, liar_count=3, seed=23)
     for liar_id in scenario.liar_ids:
         attacks = scenario.attack_scenario.attacks_by_node[liar_id]
         liar = next(a for a in attacks if isinstance(a, LiarBehavior))
-        expected = random.Random(23 + stable_digest(liar_id) % 997)
+        expected = random.Random(stable_seed(23, f"liar:{liar_id}"))
         assert liar.rng.random() == expected.random()
 
 
