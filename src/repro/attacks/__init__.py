@@ -7,8 +7,19 @@ node (HELLO/TC mutators, forward filters, message taps, answer mutators)
 rather than patching the protocol implementation.
 """
 
-from repro.attacks.base import Attack, AttackSchedule
-from repro.attacks.dropping import BlackholeAttack, GrayholeAttack, SelectiveDropFilter
+from repro.attacks.base import Attack, AttackSchedule, PeriodicSchedule
+from repro.attacks.collusion import (
+    CliqueMember,
+    LiarClique,
+    ThreatStack,
+    grayhole_liar_stack,
+)
+from repro.attacks.dropping import (
+    BlackholeAttack,
+    GrayholeAttack,
+    OnOffDroppingAttack,
+    SelectiveDropFilter,
+)
 from repro.attacks.forge import (
     BroadcastStormAttack,
     HnaSpoofingAttack,
@@ -32,14 +43,20 @@ __all__ = [
     "AttackScenario",
     "BlackholeAttack",
     "BroadcastStormAttack",
+    "CliqueMember",
     "GrayholeAttack",
     "HnaSpoofingAttack",
     "IdentitySpoofingAttack",
     "LiarBehavior",
+    "LiarClique",
     "LieMode",
     "LinkSpoofingAttack",
+    "OnOffDroppingAttack",
+    "PeriodicSchedule",
     "ReplayAttack",
     "SelectiveDropFilter",
+    "ThreatStack",
+    "grayhole_liar_stack",
     "SequenceNumberHijackAttack",
     "TcTamperingAttack",
     "WillingnessManipulationAttack",

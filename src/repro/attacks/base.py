@@ -36,6 +36,37 @@ class AttackSchedule:
         return True
 
 
+@dataclass
+class PeriodicSchedule(AttackSchedule):
+    """On–off activation: active ``on_duration`` out of every period.
+
+    Starting at ``start_time``, the attack alternates between an active
+    window of ``on_duration`` seconds and a quiet window of ``off_duration``
+    seconds.  Intermittent misbehaviour is much harder to pin down than a
+    permanent attack — the paper's detector only collects evidence while the
+    misconduct is observable — so this schedule is the backbone of the
+    "on–off dropping" threat profile.  ``stop_time`` still bounds the whole
+    pattern.
+    """
+
+    on_duration: float = 10.0
+    off_duration: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.on_duration <= 0.0:
+            raise ValueError("on_duration must be positive")
+        if self.off_duration < 0.0:
+            raise ValueError("off_duration must be non-negative")
+
+    def is_active(self, now: float) -> bool:
+        if not super().is_active(now):
+            return False
+        period = self.on_duration + self.off_duration
+        if period <= 0.0:
+            return True
+        return (now - self.start_time) % period < self.on_duration
+
+
 class Attack(abc.ABC):
     """Base class of every attack implementation."""
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, Optional, Set
 
-from repro.attacks.base import Attack, AttackSchedule, _underlying_olsr
+from repro.attacks.base import Attack, AttackSchedule, PeriodicSchedule, _underlying_olsr
 from repro.olsr.constants import MessageType
 from repro.olsr.messages import OlsrMessage
 
@@ -99,6 +99,53 @@ class GrayholeAttack(Attack):
         if total == 0:
             return 0.0
         return self.dropped_count / total
+
+
+class OnOffDroppingAttack(GrayholeAttack):
+    """Grayhole that drops only during periodic on-windows.
+
+    The attack alternates ``on_duration`` seconds of (probabilistic)
+    dropping with ``off_duration`` seconds of faithful relaying, starting at
+    ``start_time``.  During the off-windows the node is indistinguishable
+    from an honest MPR, which starves the detector of fresh evidence and
+    exercises the trust system's forgetting factor between bursts.
+    """
+
+    name = "onoff-dropping"
+
+    def __init__(
+        self,
+        drop_probability: float = 1.0,
+        on_duration: float = 10.0,
+        off_duration: float = 10.0,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+        message_types: Optional[Iterable[MessageType]] = None,
+        victim_originators: Optional[Iterable[str]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(
+            drop_probability=drop_probability,
+            message_types=message_types,
+            victim_originators=victim_originators,
+            schedule=PeriodicSchedule(
+                start_time=start_time,
+                stop_time=stop_time,
+                on_duration=on_duration,
+                off_duration=off_duration,
+            ),
+            rng=rng,
+        )
+
+    def describe(self) -> dict:
+        data = super().describe()
+        schedule = self.schedule
+        if isinstance(schedule, PeriodicSchedule):
+            data.update({
+                "on_duration": schedule.on_duration,
+                "off_duration": schedule.off_duration,
+            })
+        return data
 
 
 class SelectiveDropFilter(Attack):

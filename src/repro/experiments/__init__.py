@@ -56,8 +56,14 @@ Modules
   (content-hash keyed, WAL journal, streaming aggregation).
 * :mod:`repro.experiments.report` — plain-text tables and sparklines.
 
+Two sibling packages build on the engine: :mod:`repro.scenarios` (the
+registry of composable scenario profiles — sweepable on every experiment
+through the ``profile`` parameter — plus the seeded scenario fuzzer) and
+:mod:`repro.validation` (structural invariants over netsim runs and the
+oracle↔netsim differential harness).
+
 Command line: ``python -m repro.experiments`` with the subcommands ``list``,
-``run <experiment>``, ``campaign`` and ``report``.
+``run <experiment>``, ``campaign``, ``report`` and ``validate``.
 """
 
 from repro.experiments.ablation import AblationResult, MethodTrajectory, run_ablation

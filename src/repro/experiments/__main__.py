@@ -9,16 +9,21 @@ compatibility)::
     python -m repro.experiments run confidence_sweep --db sweep.sqlite --resume
     python -m repro.experiments run figure1 --backend netsim --param cycles=6
     python -m repro.experiments run figure3 --axis "liar_ratio=6.7%,50%"
+    python -m repro.experiments run figure1 --backend netsim --axis profile=paper-static,rpgm
     python -m repro.experiments campaign --node-counts 8,16 --workers 4
     python -m repro.experiments report --db sweep.sqlite --experiment confidence_sweep
+    python -m repro.experiments validate --seeds 25
 
 ``run`` executes any registered experiment through the shared engine
 (:mod:`repro.experiments.engine`): parallel fan-out (``--workers``), durable
 resume (``--db``/``--resume``), backend selection (``--backend
 oracle|netsim``) and arbitrary axis/parameter overrides (``--axis
-name=v1,v2``, ``--param name=value``).  ``campaign`` forwards to the
+name=v1,v2``, ``--param name=value`` — including the scenario-profile axis
+``profile``, see :mod:`repro.scenarios`).  ``campaign`` forwards to the
 scenario-campaign CLI unchanged; ``report`` re-aggregates a stored run
-without executing anything.
+without executing anything; ``validate`` fuzzes seeded scenario profiles
+through the invariant checkers and the oracle↔netsim differential harness
+(:mod:`repro.validation`).
 """
 
 from __future__ import annotations
@@ -137,7 +142,7 @@ def list_main(argv: Sequence[str]) -> int:
     """Entry point of the ``list`` subcommand."""
     argparse.ArgumentParser(
         prog=f"{_PROG} list",
-        description="List the registered experiments.",
+        description="List the registered experiments and scenario profiles.",
     ).parse_args(argv)
     rows = []
     for definition in list_experiments():
@@ -152,6 +157,24 @@ def list_main(argv: Sequence[str]) -> int:
             "description": definition.description,
         })
     print(format_table(rows, title="Registered experiments"))
+
+    from repro.scenarios import list_profiles
+
+    profile_rows = [
+        {
+            "profile": profile.name,
+            "kind": profile.kind,
+            "differential": profile.differential,
+            "description": profile.description,
+        }
+        for profile in list_profiles()
+    ]
+    print()
+    print(format_table(
+        profile_rows,
+        title="Scenario profiles (sweep with --axis profile=..., "
+              "fuzz with 'validate')",
+    ))
     return 0
 
 
@@ -233,13 +256,67 @@ def report_main(argv: Sequence[str]) -> int:
     return emit_report(report, args.output)
 
 
+def build_validate_parser() -> argparse.ArgumentParser:
+    """Parser of the ``validate`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog=f"{_PROG} validate",
+        description="Fuzz seeded scenario profiles through the structural "
+                    "invariant checkers and the oracle<->netsim differential "
+                    "harness; fails (exit 1) on any violation, reporting a "
+                    "minimized CLI reproducer per issue.",
+    )
+    parser.add_argument("--seeds", type=int, default=25, metavar="N",
+                        help="number of fuzzed scenarios (default: 25)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="corpus base seed (default: 0); a corpus is a "
+                             "pure function of (base seed, index)")
+    parser.add_argument("--profiles", type=str, default=None, metavar="A,B",
+                        help="restrict fuzzing to these scenario profiles")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report raw failing scenarios without shrinking them")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    return parser
+
+
+def validate_main(argv: Sequence[str]) -> int:
+    """Entry point of the ``validate`` subcommand."""
+    parser = build_validate_parser()
+    args = parser.parse_args(argv)
+    if args.seeds <= 0:
+        parser.error("--seeds must be positive")
+    from repro.scenarios import get_profile
+    from repro.validation import validate_corpus
+
+    profiles = None
+    if args.profiles:
+        profiles = [name.strip() for name in args.profiles.split(",") if name.strip()]
+        # Usage errors (exit 2) end here: anything raised later comes from
+        # the campaign itself and must surface as a failure, not bad usage.
+        try:
+            for name in profiles:
+                get_profile(name)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    report = validate_corpus(
+        args.seeds,
+        base_seed=args.base_seed,
+        profiles=profiles,
+        minimize=not args.no_minimize,
+    )
+    emit_report(report.format_report(), args.output)
+    return 0 if report.ok else 1
+
+
 _USAGE = f"""usage: {_PROG} <command> ...
 
 commands:
-  list        list the registered experiments
+  list        list the registered experiments and scenario profiles
   run         run one experiment (parallel fan-out, resume, backend swap)
   campaign    run a declarative scenario campaign (full MANET grid)
   report      re-aggregate a stored run/campaign without executing anything
+  validate    fuzz scenario profiles through invariant + differential checks
 
 run '{_PROG} <command> --help' for the command's options."""
 
@@ -261,6 +338,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return campaign.main(rest)
     if command == "report":
         return report_main(rest)
+    if command == "validate":
+        return validate_main(rest)
     print(f"error: unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
     return 2
 

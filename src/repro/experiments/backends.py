@@ -20,9 +20,12 @@ row logic never cares which one produced the data:
 
 Netsim-only parameters (``area_size``, ``radio_range``, ``warmup``,
 ``attack_start``, ``cycles``, ``cycle_length``, ``loss_model``,
-``loss_probability``, ``max_speed``, ``attack_variant``) are carried in the
-spec's flat parameter tuple and ignored by the oracle backend, so any spec
-can switch backends without being rewritten.
+``loss_probability``, ``max_speed``, ``attack_variant``, ``mobility_model``,
+``threat``, ``drop_probability``) are carried in the spec's flat parameter
+tuple and ignored by the oracle backend, so any spec can switch backends
+without being rewritten.  The engine-level ``profile`` parameter names a
+registered scenario profile (:mod:`repro.scenarios`) whose parameters are
+merged under the cell's own before execution.
 """
 
 from __future__ import annotations
@@ -56,14 +59,22 @@ _TRUST_PREFIX = "trust_"
 NETSIM_PARAMS = frozenset((
     "area_size", "radio_range", "warmup", "attack_start", "cycles",
     "cycle_length", "loss_model", "loss_probability", "max_speed",
-    "attack_variant",
+    "attack_variant", "mobility_model", "threat", "drop_probability",
 ))
+
+#: Parameters consumed by the engine itself rather than a backend.
+#: ``profile`` names a registered scenario profile
+#: (:mod:`repro.scenarios`) whose parameters are merged under the cell's
+#: own at axis expansion — which makes ``--axis profile=a,b`` a sweepable
+#: axis on every experiment, with the expanded parameters part of each
+#: cell's content hash.
+ENGINE_PARAMS = frozenset(("profile",))
 
 
 def is_known_param(name: str) -> bool:
     """Whether ``name`` is a parameter some backend will actually consume."""
     return (name in _CONFIG_FIELDS or name in NETSIM_PARAMS
-            or name.startswith(_TRUST_PREFIX))
+            or name in ENGINE_PARAMS or name.startswith(_TRUST_PREFIX))
 
 
 def scenario_config_from_params(params: Mapping[str, object],
@@ -105,24 +116,19 @@ def run_oracle_cell(config: ScenarioConfig) -> ExperimentResult:
     return RoundBasedExperiment(config).run()
 
 
-def run_netsim_cell(config: ScenarioConfig,
-                    params: Mapping[str, object]) -> ExperimentResult:
-    """Execute the cell on the full simulated MANET.
+def build_netsim_scenario(config: ScenarioConfig,
+                          params: Mapping[str, object]):
+    """Build (without running) the cell's full-stack MANET scenario.
 
-    The scenario derives everything from the config plus the cell's netsim
-    parameters; each experiment "round" is one detection cycle of
-    ``cycle_length`` simulated seconds on the victim.  The resulting
-    :class:`ExperimentResult` carries the same record stream as the oracle
-    backend (detect values, outcomes, answers, trust snapshots) plus
-    substrate statistics in :attr:`ExperimentResult.stats`.
+    Split out of :func:`run_netsim_cell` so callers that must instrument the
+    scenario before any event fires — the validation harness installs its
+    delivery auditor here — can do so and then hand the scenario to
+    :func:`drive_netsim_scenario`.
     """
     def param(name, default):
         return params.get(name, default)
 
     attack_start = float(param("attack_start", 40.0))
-    warmup = float(param("warmup", 35.0))
-    cycles = int(param("cycles", min(config.rounds, 8)))
-    cycle_length = float(param("cycle_length", 10.0))
 
     scenario = build_manet_scenario(
         node_count=config.total_nodes,
@@ -143,7 +149,56 @@ def run_netsim_cell(config: ScenarioConfig,
             param("attack_variant", str(LinkSpoofingVariant.FALSE_EXISTING_LINK))),
         loss_model=str(param("loss_model", "bernoulli")),
         max_speed=float(param("max_speed", 0.0)),
+        mobility_model=str(param("mobility_model", "auto")),
+        threat=str(param("threat", "link-spoofing")),
+        drop_probability=float(param("drop_probability", 0.7)),
+        trust_parameters=config.trust,
     )
+    if config.random_initial_trust:
+        # Mirror the oracle loop's "randomly set initial trust" step on the
+        # investigator, so the config field means the same thing on both
+        # backends (its own stable stream: independent of scenario wiring).
+        import random as _random
+
+        from repro.seeding import stable_seed
+
+        rng = _random.Random(stable_seed(config.seed, "initial-trust"))
+        victim = scenario.victim
+        for node_id in sorted(scenario.nodes):
+            if node_id == scenario.victim_id:
+                continue
+            victim.trust.set_initial_trust(
+                node_id, rng.uniform(config.initial_trust_min,
+                                     config.initial_trust_max))
+    return scenario
+
+
+def run_netsim_cell(config: ScenarioConfig,
+                    params: Mapping[str, object]) -> ExperimentResult:
+    """Execute the cell on the full simulated MANET.
+
+    The scenario derives everything from the config plus the cell's netsim
+    parameters; each experiment "round" is one detection cycle of
+    ``cycle_length`` simulated seconds on the victim.  The resulting
+    :class:`ExperimentResult` carries the same record stream as the oracle
+    backend (detect values, outcomes, answers, trust snapshots) plus
+    substrate statistics in :attr:`ExperimentResult.stats`.
+    """
+    scenario = build_netsim_scenario(config, params)
+    return drive_netsim_scenario(scenario, config, params)
+
+
+def drive_netsim_scenario(scenario, config: ScenarioConfig,
+                          params: Mapping[str, object]) -> ExperimentResult:
+    """Run the detection-cycle loop on an already-built scenario."""
+    def param(name, default):
+        return params.get(name, default)
+
+    attack_start = float(param("attack_start", 40.0))
+    warmup = float(param("warmup", 35.0))
+    cycles = int(param("cycles", min(config.rounds, 8)))
+    cycle_length = float(param("cycle_length", 10.0))
+
     network = scenario.network
     victim = scenario.victim
     result = ExperimentResult(

@@ -193,6 +193,15 @@ class ExperimentDefinition:
             if params:
                 merged.update(params)
             merged.update(cell)
+            if merged.get("profile"):
+                # Resolve the scenario profile NOW, not at execution: the
+                # expanded parameters enter the spec (and therefore its
+                # content hash, so editing a profile invalidates stored
+                # cells instead of silently resuming them), and a typo'd
+                # profile name fails the whole expansion up front.
+                from repro.scenarios import apply_profile
+
+                merged = apply_profile(merged)
             seed = (seed0 if self.seed_mode == "shared"
                     else stable_seed(seed0, f"{self.name}/{cell_id}"))
             specs.append(ExperimentSpec(

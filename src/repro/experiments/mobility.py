@@ -112,8 +112,11 @@ def run_mobility_study(
 
     result = MobilityStudyResult()
     for max_speed in speeds:
+        # Fixed initial trust: the sweep measures mobility's impact, and
+        # random per-node starting values would add variance unrelated to
+        # the speed axis.
         config = ScenarioConfig(total_nodes=node_count, liar_count=liar_count,
-                                seed=seed)
+                                seed=seed, random_initial_trust=False)
         run = run_netsim_cell(config, {
             "max_speed": max_speed,
             "area_size": area_size,
@@ -149,6 +152,7 @@ MOBILITY_EXPERIMENT = register(ExperimentDefinition(
         "attack_start": 40.0,
         "cycles": 8,
         "cycle_length": 10.0,
+        "random_initial_trust": False,
     },
     default_backend="netsim",
     base_seed=23,

@@ -70,7 +70,10 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
 #: content hash, so a store written by an older encoding is never silently
 #: reused.  2: unified-engine PR — stable_seed derivations replaced the ad-hoc
 #: seed arithmetic, so pre-PR rows no longer match what their specs produce.
-SCHEMA_VERSION = 2
+#: 3: scenario-library PR — the netsim backend now honours the spec's trust
+#: parameters and ``random_initial_trust``, so identical netsim specs
+#: simulate differently than under version 2.
+SCHEMA_VERSION = 3
 
 
 def spec_content_hash(spec) -> str:

@@ -23,6 +23,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.attacks.collusion import LiarClique, grayhole_liar_stack
+from repro.attacks.dropping import OnOffDroppingAttack
 from repro.attacks.liar import LiarBehavior
 from repro.attacks.link_spoofing import LinkSpoofingAttack
 from repro.attacks.scenario import AttackScenario
@@ -37,7 +39,10 @@ from repro.netsim.medium import (
     WirelessMedium,
 )
 from repro.netsim.mobility import (
+    GaussMarkovMobility,
+    RandomWalkMobility,
     RandomWaypointMobility,
+    ReferencePointGroupMobility,
     StaticPlacement,
     UniformRandomPlacement,
 )
@@ -46,6 +51,7 @@ from repro.netsim.engine import Simulator
 from repro.olsr.constants import Willingness
 from repro.olsr.node import OlsrConfig
 from repro.seeding import stable_seed
+from repro.trust.manager import TrustParameters
 
 
 @dataclass
@@ -189,6 +195,53 @@ def _build_loss_model(kind: str, loss_probability: float, radio_range: float,
     raise ValueError(f"unknown loss model {kind!r} (expected 'bernoulli' or 'distance')")
 
 
+#: Mobility models build_manet_scenario can instantiate by name.
+MOBILITY_MODELS = ("auto", "static", "waypoint", "walk", "gauss-markov", "rpgm")
+
+#: Threat compositions build_manet_scenario can install by name.
+THREATS = ("link-spoofing", "onoff-grayhole", "liar-clique", "grayhole-liar")
+
+
+def _build_mobility(kind: str, area_size: float, max_speed: float,
+                    rng: random.Random):
+    """Instantiate the named mobility model for an ``area_size`` square.
+
+    ``"auto"`` reproduces the historic behaviour: random waypoint when
+    ``max_speed`` is positive, static uniform placement otherwise.  The
+    mobile models fall back to their own sensible default speed when
+    ``max_speed`` is 0, so a ``mobility_model`` axis can be swept without
+    also sweeping speeds.
+    """
+    if kind == "auto":
+        kind = "waypoint" if max_speed > 0.0 else "static"
+    if kind == "static":
+        return UniformRandomPlacement(width=area_size, height=area_size, rng=rng)
+    speed = max_speed if max_speed > 0.0 else 5.0
+    if kind == "waypoint":
+        return RandomWaypointMobility(
+            width=area_size, height=area_size,
+            min_speed=max(0.5, speed / 4.0), max_speed=speed,
+            pause_time=2.0, rng=rng,
+        )
+    if kind == "walk":
+        return RandomWalkMobility(width=area_size, height=area_size,
+                                  max_step=speed, rng=rng)
+    if kind == "gauss-markov":
+        return GaussMarkovMobility(
+            width=area_size, height=area_size,
+            mean_speed=max_speed if max_speed > 0.0 else 3.0,
+            rng=rng,
+        )
+    if kind == "rpgm":
+        return ReferencePointGroupMobility(
+            width=area_size, height=area_size,
+            min_speed=max(0.5, speed / 4.0), max_speed=speed,
+            member_radius=area_size / 6.0, rng=rng,
+        )
+    raise ValueError(
+        f"unknown mobility model {kind!r} (expected one of {', '.join(MOBILITY_MODELS)})")
+
+
 def build_manet_scenario(
     node_count: int = 16,
     liar_count: int = 4,
@@ -201,6 +254,10 @@ def build_manet_scenario(
     attack_variant: LinkSpoofingVariant = LinkSpoofingVariant.FALSE_EXISTING_LINK,
     loss_model: str = "bernoulli",
     max_speed: float = 0.0,
+    mobility_model: str = "auto",
+    threat: str = "link-spoofing",
+    drop_probability: float = 0.7,
+    trust_parameters: Optional["TrustParameters"] = None,
 ) -> SimulationScenario:
     """Build an ``node_count``-node random MANET with one attacker and liars.
 
@@ -211,14 +268,33 @@ def build_manet_scenario(
 
     ``attack_variant`` selects the link-spoofing expression (1–3),
     ``loss_model`` names the channel model (``"bernoulli"`` or
-    ``"distance"``), and a positive ``max_speed`` switches the placement to
-    random-waypoint mobility at that speed — the three axes the scenario
-    campaign (:mod:`repro.experiments.campaign`) sweeps.
+    ``"distance"``), ``mobility_model`` names the motion model (``"auto"``
+    keeps the historic behaviour: random waypoint when ``max_speed`` > 0,
+    static otherwise; see :data:`MOBILITY_MODELS`), and ``threat`` names the
+    composition layered on top of the base link-spoofing attack (see
+    :data:`THREATS`):
+
+    * ``"link-spoofing"`` — the paper's scenario: spoofing attacker plus
+      independent liars.
+    * ``"onoff-grayhole"`` — the attacker additionally drops relayed traffic
+      with ``drop_probability`` during periodic on-windows.
+    * ``"liar-clique"`` — the liars coordinate through one shared decision
+      stream (:class:`repro.attacks.collusion.LiarClique`), never
+      contradicting each other.
+    * ``"grayhole-liar"`` — a stacked threat: the attacker grayholes *and*
+      shields itself with falsified answers when investigated, on top of the
+      independent liars.
+
+    These (with ``loss_model``/``max_speed``) are the axes the scenario
+    campaign and the unified experiment CLI sweep.
     """
     if node_count < 4:
         raise ValueError("a MANET scenario needs at least 4 nodes")
     if liar_count >= node_count - 2:
         raise ValueError("too many liars for the node count")
+    if threat not in THREATS:
+        raise ValueError(
+            f"unknown threat {threat!r} (expected one of {', '.join(THREATS)})")
 
     simulator = Simulator()
     rng = random.Random(seed)
@@ -228,15 +304,7 @@ def build_manet_scenario(
         loss_model=_build_loss_model(loss_model, loss_probability, radio_range, seed),
     )
     mobility_rng = random.Random(stable_seed(seed, "mobility"))
-    if max_speed > 0.0:
-        mobility = RandomWaypointMobility(
-            width=area_size, height=area_size,
-            min_speed=max(0.5, max_speed / 4.0), max_speed=max_speed,
-            pause_time=2.0, rng=mobility_rng,
-        )
-    else:
-        mobility = UniformRandomPlacement(width=area_size, height=area_size,
-                                          rng=mobility_rng)
+    mobility = _build_mobility(mobility_model, area_size, max_speed, mobility_rng)
     network = Network(
         simulator=simulator,
         medium=medium,
@@ -254,6 +322,7 @@ def build_manet_scenario(
             node_id,
             network,
             olsr_config=OlsrConfig(willingness=willingness),
+            trust_parameters=trust_parameters,
             detection_config=detection_config or DetectionConfig(),
             seed=rng.randint(0, 2 ** 31),
         )
@@ -288,20 +357,49 @@ def build_manet_scenario(
         target_addresses=spoof_targets,
     )
     attack.schedule.start_time = attack_start
-    scenario = AttackScenario(name=f"manet-{node_count}n-{liar_count}liars")
+    scenario = AttackScenario(name=f"manet-{node_count}n-{liar_count}liars-{threat}")
     scenario.add(attacker_id, attack)
+
+    # Threat composition: extra payloads stacked on the spoofing attacker.
+    if threat == "onoff-grayhole":
+        scenario.add(attacker_id, OnOffDroppingAttack(
+            drop_probability=drop_probability,
+            on_duration=15.0, off_duration=15.0,
+            start_time=attack_start,
+            rng=random.Random(stable_seed(seed, "grayhole")),
+        ))
+    elif threat == "grayhole-liar":
+        scenario.add(attacker_id, grayhole_liar_stack(
+            protected_suspects={attacker_id},
+            drop_probability=drop_probability,
+            start_time=attack_start,
+            rng=random.Random(stable_seed(seed, "grayhole")),
+            liar_rng=random.Random(stable_seed(seed, "self-liar")),
+        ))
 
     # Liars: sampled among the remaining nodes.
     candidates = [nid for nid in node_ids if nid not in (attacker_id, victim_id)]
     rng.shuffle(candidates)
     liar_ids = set(candidates[:liar_count])
-    for liar_id in sorted(liar_ids):
-        # stable_seed keeps the per-liar streams disjoint: the old additive
-        # ``seed + digest % 997`` capped the offset, allowing two liars to
-        # collide on the same RNG stream.
-        liar = LiarBehavior(protected_suspects={attacker_id},
-                            rng=random.Random(stable_seed(seed, f"liar:{liar_id}")))
-        scenario.add(liar_id, liar)
+    if threat == "liar-clique":
+        # One shared decision stream: the clique never contradicts itself.
+        # Intermittent lying (p < 1) is what coordination changes: either the
+        # whole clique shields the attacker this epoch or the whole clique
+        # answers honestly — independent liars at the same rate would split.
+        clique = LiarClique(protected_suspects={attacker_id},
+                            lie_probability=0.9,
+                            epoch_length=10.0,
+                            seed=stable_seed(seed, "clique"))
+        for liar_id in sorted(liar_ids):
+            scenario.add(liar_id, clique.member(liar_id))
+    else:
+        for liar_id in sorted(liar_ids):
+            # stable_seed keeps the per-liar streams disjoint: the old additive
+            # ``seed + digest % 997`` capped the offset, allowing two liars to
+            # collide on the same RNG stream.
+            liar = LiarBehavior(protected_suspects={attacker_id},
+                                rng=random.Random(stable_seed(seed, f"liar:{liar_id}")))
+            scenario.add(liar_id, liar)
 
     scenario.install_all(nodes)
 

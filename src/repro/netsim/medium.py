@@ -300,6 +300,11 @@ class WirelessMedium:
         self.stats = MediumStatistics()
         # receiver id -> list of busy entries (for collisions)
         self._busy: Dict[str, List[_BusyEntry]] = {}
+        #: Optional delivery-trace recorder (``repro.netsim.trace.TraceRecorder``
+        #: or anything with its ``record`` signature).  ``None`` (the default)
+        #: costs nothing; the validation harness installs one to audit every
+        #: delivery with the positions the range check actually used.
+        self.trace_recorder = None
 
     # ------------------------------------------------------------- wiring
     def bind_position_oracle(self, oracle, epoch_oracle: Optional[Callable[[], int]] = None) -> None:
@@ -465,7 +470,14 @@ class WirelessMedium:
             delay = self.propagation_delay
             if self.jitter:
                 delay += self._rng.uniform(0.0, self.jitter)
-            handle = self._simulator.schedule(delay, self._deliver, receiver_id, frame, entry)
+            tx_info = None
+            if self.trace_recorder is not None:
+                # Capture the positions (and the sender range) the in-range
+                # decision was made with — mobility may move either endpoint
+                # before the delivery event fires.
+                tx_info = (sender_pos, receiver_pos, self._safe_range_of(frame.source))
+            handle = self._simulator.schedule(delay, self._deliver, receiver_id,
+                                              frame, entry, tx_info)
             if entry is not None:
                 entry.handle = handle
 
@@ -501,7 +513,18 @@ class WirelessMedium:
         intervals.append(entry)
         return entry, collided
 
-    def _deliver(self, receiver_id: str, frame: Frame, entry: Optional[_BusyEntry] = None) -> None:
+    def _safe_range_of(self, sender_id: str) -> Optional[float]:
+        """``_range_of_sender`` for models that may have no finite range."""
+        prop = self.propagation
+        if isinstance(prop, AsymmetricRangePropagation):
+            return prop.range_of(sender_id)
+        candidate = getattr(prop, "radio_range", None)
+        if isinstance(candidate, (int, float)) and math.isfinite(candidate):
+            return float(candidate)
+        return None
+
+    def _deliver(self, receiver_id: str, frame: Frame, entry: Optional[_BusyEntry] = None,
+                 tx_info: Optional[Tuple[Position, Position, Optional[float]]] = None) -> None:
         if entry is not None:
             entry.delivered = True
         interface = self._interfaces.get(receiver_id)
@@ -510,4 +533,13 @@ class WirelessMedium:
             return
         self.stats.frames_delivered += 1
         self.stats.bytes_delivered += frame.size_bytes
+        if self.trace_recorder is not None and tx_info is not None:
+            sender_pos, receiver_pos, tx_range = tx_info
+            self.trace_recorder.record(
+                self._simulator.now, "medium", receiver_id, "FRAME_DELIVERED",
+                source=frame.source,
+                sender_pos=sender_pos,
+                receiver_pos=receiver_pos,
+                tx_range=tx_range,
+            )
         interface.receive(frame, self._simulator.now)

@@ -1,0 +1,62 @@
+"""Differential validation harness: prove the two backends agree.
+
+Three layers, all driven by ``python -m repro.experiments validate``:
+
+* :mod:`repro.validation.invariants` — structural invariant checkers over
+  netsim runs (delivery range, RFC 3626 MPR coverage, trust bounds,
+  duplicate-table suppression) and the :class:`ScenarioAuditor` that wires
+  them to a built scenario.
+* :mod:`repro.validation.differential` — run one parameter set on both the
+  ``oracle`` and ``netsim`` backends and compare summary metrics within
+  declared tolerances.
+* :mod:`repro.validation.fuzz` — the campaign driver: fuzz N seeded
+  scenario profiles, invariant-check and cross-check each, and report
+  failures with minimized CLI reproducers.
+
+See ``repro/scenarios/__init__.py`` for how to add a scenario profile or a
+new invariant.
+"""
+
+from repro.validation.differential import (
+    DEFAULT_TOLERANCES,
+    DifferentialResult,
+    MetricComparison,
+    compare_metrics,
+    run_differential,
+    summary_metrics,
+)
+from repro.validation.fuzz import (
+    ValidationIssue,
+    ValidationReport,
+    minimize_params,
+    validate_corpus,
+)
+from repro.validation.invariants import (
+    ALL_INVARIANTS,
+    InvariantViolation,
+    ScenarioAuditor,
+    check_delivery_range,
+    check_duplicate_suppression,
+    check_mpr_coverage,
+    check_trust_bounds,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "DEFAULT_TOLERANCES",
+    "DifferentialResult",
+    "InvariantViolation",
+    "MetricComparison",
+    "ScenarioAuditor",
+    "ValidationIssue",
+    "ValidationReport",
+    "check_delivery_range",
+    "check_duplicate_suppression",
+    "check_mpr_coverage",
+    "check_trust_bounds",
+    "compare_metrics",
+    "minimize_params",
+    "run_differential",
+    "summary_metrics",
+    "validate_corpus",
+]

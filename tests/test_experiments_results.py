@@ -218,6 +218,101 @@ def test_cli_run_with_unopenable_db_errors_cleanly(tmp_path, capsys):
     assert "cannot open results store" in capsys.readouterr().err
 
 
+# --------------------------------------------------------- hostile payloads
+def test_nan_and_infinite_metrics_round_trip(tmp_path):
+    """NaN/±inf metric values survive storage and resume intact.
+
+    Aggregations can legitimately produce non-finite floats (empty-cell
+    means, saturating ratios); the store must neither crash nor silently
+    rewrite them, and the stored bytes must be identical after reopening —
+    that is what keeps resumed reports byte-identical to live ones.
+    """
+    import json
+    import math
+
+    path = str(tmp_path / "runs.sqlite")
+    row = {"run_id": "hostile-nan", "nan": float("nan"),
+           "pos": float("inf"), "neg": float("-inf"), "finite": 0.1 + 0.2}
+    with ResultsStore(path) as store:
+        spec = _spec(run_id="hostile-nan")
+        digest = store.record(spec, row)
+        raw_before = store._connection.execute(
+            "SELECT row_json FROM runs WHERE spec_hash = ?", (digest,)
+        ).fetchone()[0]
+
+    with ResultsStore(path) as store:  # resume: fresh connection
+        raw_after = store._connection.execute(
+            "SELECT row_json FROM runs WHERE spec_hash = ?", (digest,)
+        ).fetchone()[0]
+        assert raw_after == raw_before  # byte-identical across resume
+        loaded = store.get_row(digest)
+        assert math.isnan(loaded["nan"])
+        assert loaded["pos"] == float("inf")
+        assert loaded["neg"] == float("-inf")
+        assert loaded["finite"] == 0.1 + 0.2  # repr-exact, not re-rounded
+        streamed = list(store.iter_rows([digest]))
+        assert json.dumps(streamed[0]) == json.dumps(loaded)
+
+
+def test_unicode_and_param_heavy_specs_round_trip(tmp_path):
+    """Unicode ids/values and very wide parameter tuples store losslessly."""
+    from repro.experiments.engine import ExperimentSpec
+
+    heavy_params = tuple(
+        (f"param_{i:03d}", value)
+        for i, value in enumerate(
+            [0.1 * i for i in range(120)]
+            + ["véhicule-nœud", "攻撃者", "liar:нет", None, True, -1]
+        )
+    )
+    spec = ExperimentSpec(
+        experiment="hostile-experiment-☃",
+        cell_id="liar_ratio=26.3%-μ=0.5",
+        run_id="hostile-☃/liar_ratio=26.3%",
+        seed=7,
+        backend="netsim",
+        params=heavy_params,
+    )
+    row = {"run_id": spec.run_id, "note": "tröst ≤ 0.4 — 信頼", "ok": True}
+
+    path = str(tmp_path / "runs.sqlite")
+    with ResultsStore(path) as store:
+        digest = store.record(spec, row)
+        assert digest == spec.content_hash()
+
+    with ResultsStore(path) as store:
+        assert store.get_row(digest) == row
+        assert list(store.iter_rows([digest])) == [row]
+        import json
+
+        stored_spec = json.loads(store._connection.execute(
+            "SELECT spec_json FROM runs WHERE spec_hash = ?", (digest,)
+        ).fetchone()[0])
+        assert stored_spec["params"] == [list(p) for p in heavy_params]
+        assert stored_spec["run_id"] == spec.run_id
+
+
+def test_multi_row_cells_flatten_identically_after_resume(tmp_path):
+    """A multi-row engine cell streams the same flat rows before and after
+    reopening, interleaved correctly with single-row campaign cells."""
+    import json
+
+    multi = [{"run_id": "multi", "node": f"n{i:02d}", "trust": i / 7.0}
+             for i in range(7)]
+    single = {"run_id": "single", "x": 1}
+    path = str(tmp_path / "runs.sqlite")
+    with ResultsStore(path) as store:
+        digest_multi = store.record(_spec(run_id="multi", seed=3), multi)
+        digest_single = store.record(_spec(run_id="single", seed=4), single)
+        live = list(store.iter_rows([digest_multi, digest_single]))
+
+    with ResultsStore(path) as store:
+        resumed = list(store.iter_rows([digest_multi, digest_single]))
+        assert json.dumps(resumed) == json.dumps(live)
+        assert resumed == multi + [single]
+        assert store.get_row(digest_multi) == multi
+
+
 # ------------------------------------------------------------ stored fields
 def test_stored_spec_json_round_trips(tmp_path):
     with ResultsStore(str(tmp_path / "runs.sqlite")) as store:

@@ -7,9 +7,11 @@ import random
 import pytest
 
 from repro.netsim.mobility import (
+    GaussMarkovMobility,
     GridPlacement,
     RandomWalkMobility,
     RandomWaypointMobility,
+    ReferencePointGroupMobility,
     StaticPlacement,
     UniformRandomPlacement,
     chain_positions,
@@ -107,6 +109,96 @@ def test_ring_positions_equidistant_from_center():
 def test_chain_positions_spacing():
     positions = chain_positions(["a", "b", "c"], spacing=75.0)
     assert positions == {"a": (0.0, 0.0), "b": (75.0, 0.0), "c": (150.0, 0.0)}
+
+
+def test_gauss_markov_moves_and_stays_in_bounds():
+    mobility = GaussMarkovMobility(width=200.0, height=200.0, mean_speed=5.0,
+                                   rng=random.Random(4))
+    network = Network(simulator=Simulator(), mobility=mobility, seed=4)
+    network.add_nodes(NODE_IDS)
+    before = dict(network.positions)
+    network.run(until=60.0)
+    after = dict(network.positions)
+    assert any(before[n] != after[n] for n in before)
+    for x, y in after.values():
+        assert 0.0 <= x <= 200.0
+        assert 0.0 <= y <= 200.0
+
+
+def test_gauss_markov_is_deterministic_with_seed():
+    def run():
+        mobility = GaussMarkovMobility(width=300.0, height=300.0,
+                                       rng=random.Random(17))
+        network = Network(simulator=Simulator(), mobility=mobility, seed=17)
+        network.add_nodes(NODE_IDS)
+        network.run(until=25.0)
+        return dict(network.positions)
+
+    assert run() == run()
+
+
+def test_gauss_markov_motion_is_temporally_correlated():
+    """With alpha close to 1, consecutive steps point the same way —
+    the property that distinguishes Gauss-Markov from a random walk."""
+    mobility = GaussMarkovMobility(width=10_000.0, height=10_000.0,
+                                   mean_speed=5.0, alpha=0.95,
+                                   speed_stddev=0.1, direction_stddev=0.05,
+                                   rng=random.Random(6))
+    network = Network(simulator=Simulator(), mobility=mobility, seed=6)
+    network.add_nodes(["a"])
+    # Re-centre so edge reflections cannot interfere with the measurement.
+    network.set_position("a", (5_000.0, 5_000.0))
+    positions = []
+    for step in range(1, 11):
+        network.run(until=float(step))
+        positions.append(network.positions["a"])
+    steps = [(x2 - x1, y2 - y1) for (x1, y1), (x2, y2)
+             in zip(positions, positions[1:])]
+    dots = [
+        ax * bx + ay * by
+        for (ax, ay), (bx, by) in zip(steps, steps[1:])
+    ]
+    assert all(dot > 0.0 for dot in dots)  # never reverses within 10 steps
+
+
+def test_rpgm_members_follow_their_reference_point():
+    mobility = ReferencePointGroupMobility(width=1000.0, height=1000.0,
+                                           group_count=2, member_radius=80.0,
+                                           min_speed=5.0, max_speed=10.0,
+                                           rng=random.Random(8))
+    network = Network(simulator=Simulator(), mobility=mobility, seed=8)
+    network.add_nodes(NODE_IDS)
+    network.run(until=40.0)
+    # Every member sits inside its group's disc (clamped at the edges).
+    for node_id, (x, y) in network.positions.items():
+        group = mobility._group_of[node_id]
+        rx, ry = mobility._references[group]
+        ex = min(max(rx + mobility._offsets[node_id][0], 0.0), 1000.0)
+        ey = min(max(ry + mobility._offsets[node_id][1], 0.0), 1000.0)
+        assert (x, y) == (ex, ey)
+        assert 0.0 <= x <= 1000.0 and 0.0 <= y <= 1000.0
+
+
+def test_rpgm_groups_stay_clustered_while_moving():
+    mobility = ReferencePointGroupMobility(width=2000.0, height=2000.0,
+                                           group_count=3, member_radius=50.0,
+                                           min_speed=2.0, max_speed=6.0,
+                                           rng=random.Random(12))
+    network = Network(simulator=Simulator(), mobility=mobility, seed=12)
+    network.add_nodes([f"m{i}" for i in range(12)])
+    before = dict(network.positions)
+    network.run(until=50.0)
+    after = dict(network.positions)
+    assert any(before[n] != after[n] for n in before)
+    # Intra-group spread is bounded by the disc diameter.
+    groups = {}
+    for node_id, position in after.items():
+        groups.setdefault(mobility._group_of[node_id], []).append(position)
+    for members in groups.values():
+        xs = [p[0] for p in members]
+        ys = [p[1] for p in members]
+        assert max(xs) - min(xs) <= 100.0 + 1e-6
+        assert max(ys) - min(ys) <= 100.0 + 1e-6
 
 
 def test_static_install_is_noop():
