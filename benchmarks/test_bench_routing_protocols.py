@@ -1,0 +1,61 @@
+"""Table F — control-plane cost of the routing backends at scale.
+
+Runs the same warm-up workload (static uniform placement, no attack) on
+every registered routing backend at 64 and 128 nodes and reports wall
+clock, simulator events and control-message overhead side by side.  The
+table documents the protocols' expected cost structure: proactive OLSR
+pays continuous HELLO+TC flooding, reactive AODV and beacon-only geo stay
+near-silent until data flows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.scenario import build_manet_scenario
+
+PROTOCOLS = ("olsr", "aodv", "geo")
+WARMUP_SECONDS = 30.0
+
+
+def _run_warmup(protocol: str, node_count: int):
+    scenario = build_manet_scenario(
+        node_count=node_count,
+        liar_count=0,
+        seed=5,
+        attack_start=WARMUP_SECONDS * 10,  # never fires during the bench
+        protocol=protocol,
+    )
+    scenario.warm_up(WARMUP_SECONDS)
+    return scenario
+
+
+@pytest.mark.parametrize("node_count", [64, 128])
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_bench_routing_protocol_scale(benchmark, emit, protocol, node_count):
+    scenario = benchmark.pedantic(
+        _run_warmup, args=(protocol, node_count), rounds=1, iterations=1)
+
+    network = scenario.network
+    routers = [node.router for node in scenario.nodes.values()]
+    total_tx = sum(router.stats.messages_sent for router in routers)
+    total_rx = sum(router.stats.messages_received for router in routers)
+    rows = [{
+        "protocol": protocol,
+        "nodes": node_count,
+        "simulated_seconds": WARMUP_SECONDS,
+        "events_processed": network.simulator.processed_events,
+        "frames_sent": network.medium.stats.frames_sent,
+        "frames_delivered": network.medium.stats.frames_delivered,
+        "control_messages_sent": total_tx,
+        "control_messages_received": total_rx,
+        "control_tx_per_node_per_s": round(
+            total_tx / (node_count * WARMUP_SECONDS), 2),
+    }]
+    emit(f"TABLE F (routing control overhead, {protocol} @ {node_count})",
+         format_table(rows, title="Table F — 30 simulated seconds, no attack"))
+
+    assert network.simulator.processed_events > 0
+    assert total_tx > 0, f"{protocol} emitted no control traffic"
+    benchmark.extra_info.update(rows[0])

@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, Optional, Set
 
-from repro.attacks.base import Attack, AttackSchedule, PeriodicSchedule, _underlying_olsr
+from repro.attacks.base import Attack, AttackSchedule, PeriodicSchedule, _underlying_router
 from repro.olsr.constants import MessageType
 from repro.olsr.messages import OlsrMessage
 
@@ -25,7 +25,7 @@ class BlackholeAttack(Attack):
         self.dropped_count = 0
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         olsr.forward_filters.append(self._filter)
         self.mark_installed(olsr.node_id)
 
@@ -70,7 +70,7 @@ class GrayholeAttack(Attack):
         self.relayed_count = 0
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         olsr.forward_filters.append(self._filter)
         self.mark_installed(olsr.node_id)
 
@@ -168,7 +168,7 @@ class SelectiveDropFilter(Attack):
         self.dropped_count = 0
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         olsr.forward_filters.append(self._filter)
         self.mark_installed(olsr.node_id)
 

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Set
 
-from repro.attacks.base import Attack, AttackSchedule, _underlying_olsr
+from repro.attacks.base import (
+    Attack,
+    AttackSchedule,
+    _underlying_router,
+    require_protocol_hook,
+)
 from repro.olsr.constants import Willingness
 from repro.olsr.messages import HelloMessage, OlsrMessage, TcMessage
 from repro.olsr.packet import OlsrPacket
@@ -44,7 +49,7 @@ class BroadcastStormAttack(Attack):
         self._node = None
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         self._node = olsr
         olsr.simulator.schedule_periodic(self.period, self._emit_burst,
                                          start_delay=self.schedule.start_time or self.period)
@@ -78,7 +83,7 @@ class IdentitySpoofingAttack(Attack):
         self._node = None
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         self._node = olsr
         olsr.simulator.schedule_periodic(self.period, self._emit_spoofed_hello,
                                          start_delay=self.period)
@@ -113,8 +118,9 @@ class WillingnessManipulationAttack(Attack):
         self.willingness = willingness
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
-        olsr.hello_mutators.append(self._mutate_hello)
+        olsr = _underlying_router(node)
+        require_protocol_hook(olsr, "hello_mutators", self.name).append(
+            self._mutate_hello)
         self.mark_installed(olsr.node_id)
 
     def _mutate_hello(self, hello: HelloMessage, node) -> HelloMessage:
@@ -146,7 +152,7 @@ class HnaSpoofingAttack(Attack):
         self._node = None
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         self._node = olsr
         olsr.simulator.schedule_periodic(self.period, self._emit_forged_hna,
                                          start_delay=self.period)
@@ -189,8 +195,9 @@ class TcTamperingAttack(Attack):
             raise ValueError("TC tampering requires something to add or remove")
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
-        olsr.tc_mutators.append(self._mutate_tc)
+        olsr = _underlying_router(node)
+        require_protocol_hook(olsr, "tc_mutators", self.name).append(
+            self._mutate_tc)
         self.mark_installed(olsr.node_id)
 
     def _mutate_tc(self, tc: TcMessage, node) -> TcMessage:

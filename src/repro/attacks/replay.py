@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.attacks.base import Attack, AttackSchedule, _underlying_olsr
+from repro.attacks.base import Attack, AttackSchedule, _underlying_router
 from repro.olsr.constants import MessageType
 from repro.olsr.messages import OlsrMessage
 from repro.olsr.packet import OlsrPacket
@@ -42,7 +42,7 @@ class ReplayAttack(Attack):
         self._node = None
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         self._node = olsr
         olsr.message_taps.append(self._tap)
         self.mark_installed(olsr.node_id)
@@ -89,7 +89,7 @@ class SequenceNumberHijackAttack(Attack):
         self.hijacked_count = 0
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         olsr.message_taps.append(self._tap)
         self.mark_installed(olsr.node_id)
 
@@ -131,7 +131,7 @@ class WormholeAttack(Attack):
         self._endpoints: List = []
 
     def install(self, node) -> None:
-        olsr = _underlying_olsr(node)
+        olsr = _underlying_router(node)
         if len(self._endpoints) >= 2:
             raise ValueError("a wormhole has exactly two endpoints")
         self._endpoints.append(olsr)

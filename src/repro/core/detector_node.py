@@ -2,7 +2,9 @@
 
 A :class:`DetectorNode` bundles, for one network node:
 
-* an :class:`repro.olsr.node.OlsrNode` (the routing substrate producing logs),
+* a routing substrate producing audit logs — any registered
+  :class:`repro.routing.base.RoutingProtocol` backend (OLSR by default,
+  selected with the ``protocol`` argument),
 * the log analyzer and :class:`repro.core.detector.LocalDetector`,
 * the :class:`repro.trust.manager.TrustManager` and recommendation store, and
 * a :class:`repro.core.investigation.CooperativeInvestigator`.
@@ -28,7 +30,8 @@ from repro.core.investigation import (
     common_two_hop_neighbors,
 )
 from repro.logs.analyzer import LogAnalyzer
-from repro.olsr.node import OlsrConfig, OlsrNode
+from repro.olsr.node import OlsrConfig
+from repro.routing.registry import create_protocol
 from repro.trust.manager import TrustManager, TrustParameters
 from repro.trust.recommendation import RecommendationManager
 from repro.seeding import stable_digest
@@ -48,7 +51,7 @@ class DetectionConfig:
 
 
 class DetectorNode:
-    """One node running OLSR plus the trust-enabled link-spoofing detector."""
+    """One node running a routing protocol plus the trust-enabled misbehaviour detector."""
 
     def __init__(
         self,
@@ -58,15 +61,22 @@ class DetectorNode:
         trust_parameters: Optional[TrustParameters] = None,
         detection_config: Optional[DetectionConfig] = None,
         seed: Optional[int] = None,
+        protocol: str = "olsr",
+        routing_config: Optional[object] = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
+        self.protocol = protocol
         self.detection_config = detection_config or DetectionConfig()
         self.rng = random.Random(seed if seed is not None else stable_digest(node_id) & 0xFFFF)
 
-        self.olsr = OlsrNode(node_id, network, config=olsr_config,
-                             seed=self.rng.randint(0, 2 ** 31))
-        self.log = self.olsr.log
+        config = routing_config if routing_config is not None else olsr_config
+        self.router = create_protocol(protocol, node_id, network, config=config,
+                                      seed=self.rng.randint(0, 2 ** 31))
+        #: Backwards-compatible alias: the routing substrate, whatever the
+        #: protocol (historical name from the OLSR-only days).
+        self.olsr = self.router
+        self.log = self.router.log
         self.analyzer = LogAnalyzer(self.log)
         self.detector = LocalDetector(
             self.analyzer,
@@ -85,8 +95,8 @@ class DetectorNode:
 
     # ----------------------------------------------------------------- wiring
     def start(self) -> None:
-        """Start the underlying OLSR node."""
-        self.olsr.start()
+        """Start the underlying routing protocol."""
+        self.router.start()
 
     def bind_transport(self, transport: QueryTransport) -> None:
         """Install the query transport and build the investigator on top of it."""
@@ -134,11 +144,12 @@ class DetectorNode:
         answer (or suppress it by returning ``None``).
         """
         if link_peer is None or link_peer == self.node_id:
-            honest: Optional[bool] = self.olsr.local_topology_answer(suspect)
-        elif link_peer in self.olsr.symmetric_neighbors():
-            # What did link_peer itself advertise lately?  Its advertised
-            # symmetric neighbours populate our 2-hop set through it.
-            honest = suspect in self.olsr.two_hop_set.reachable_through(link_peer)
+            honest: Optional[bool] = self.router.local_topology_answer(suspect)
+        elif link_peer in self.router.symmetric_neighbors():
+            # What did link_peer itself advertise lately?  Link-state
+            # protocols track their neighbours' advertisements (OLSR: the
+            # 2-hop set); protocols without that state answer None.
+            honest = self.router.peer_advertises(link_peer, suspect)
         else:
             honest = None  # no knowledge about that link
         answer: Optional[bool] = honest
@@ -150,15 +161,15 @@ class DetectorNode:
     def _sole_provider_oracle(self, suspect: str) -> Set[str]:
         """E3 check: nodes for which ``suspect`` is the only connectivity provider."""
         isolated: Set[str] = set()
-        for two_hop in self.olsr.coverage_of(suspect):
-            providers = self.olsr.providers_of(two_hop)
+        for two_hop in self.router.coverage_of(suspect):
+            providers = self.router.providers_of(two_hop)
             if providers == {suspect}:
                 isolated.add(two_hop)
         return isolated
 
     def scan_logs(self) -> List[InvestigationTrigger]:
         """Run the local log analysis and return the new investigation triggers."""
-        return self.detector.scan(now=self.olsr.now)
+        return self.detector.scan(now=self.router.now)
 
     def open_investigations_from_triggers(
         self, triggers: List[InvestigationTrigger]
@@ -169,7 +180,7 @@ class DetectorNode:
         suspects = []
         for trigger in triggers:
             responders = common_two_hop_neighbors(
-                coverage_of=self.olsr.coverage_of,
+                coverage_of=self.router.coverage_of,
                 suspicious_mpr=trigger.suspect,
                 replaced_mprs=trigger.replaced_mprs,
                 exclude={self.node_id},
@@ -191,7 +202,7 @@ class DetectorNode:
         """Run one round of the cooperative investigation about ``suspect``."""
         if self.investigator is None:
             raise RuntimeError("no transport bound: call bind_transport() first")
-        result = self.investigator.run_round(suspect, now=self.olsr.now)
+        result = self.investigator.run_round(suspect, now=self.router.now)
         self.decision_history.append(result.decision)
         return result
 
@@ -217,7 +228,8 @@ class DetectorNode:
         open_suspects = self.investigator.open_investigations() if self.investigator else []
         return {
             "node": self.node_id,
-            "olsr": self.olsr.describe(),
+            "protocol": self.protocol,
+            "olsr": self.router.describe(),
             "trust": self.trust_table(),
             "open_investigations": open_suspects,
             "decisions": len(self.decision_history),

@@ -73,7 +73,10 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
 #: 3: scenario-library PR — the netsim backend now honours the spec's trust
 #: parameters and ``random_initial_trust``, so identical netsim specs
 #: simulate differently than under version 2.
-SCHEMA_VERSION = 3
+#: 4: routing-layer PR — ``protocol`` became a netsim parameter (part of the
+#: hashed parameter tuple) and the node stack moved onto the shared
+#: ``RoutingProtocol`` base, so version-3 rows must not be reused.
+SCHEMA_VERSION = 4
 
 
 def spec_content_hash(spec) -> str:

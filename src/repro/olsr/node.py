@@ -6,25 +6,23 @@ discovery and routing-table calculation.  Every state transition of interest
 is written to the node's :class:`repro.logs.store.LogStore`, because the
 paper's detector works from those audit logs rather than from packets.
 
-Attack modules never patch this class; instead they register *hooks*:
+:class:`OlsrNode` is the OLSR backend of the protocol-agnostic routing
+layer: the network attachment, audit log, data plane and the generic attack
+hooks (``forward_filters``, ``message_taps``, ``data_handlers``) live on
+:class:`repro.routing.base.RoutingProtocol`; this module adds the
+OLSR-specific hooks:
 
 * ``hello_mutators`` / ``tc_mutators`` — transform control messages right
   before emission (link spoofing, willingness manipulation…).
-* ``forward_filters`` — veto the relaying of a message (blackhole/grayhole).
-* ``message_taps`` — observe every received message (wormhole recording,
-  watchdog-style monitoring).
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.logs.records import LogCategory
 from repro.logs.store import LogStore
-from repro.netsim.packet import Frame
-from repro.netsim.stats import NodeStatistics
 from repro.olsr.constants import (
     DUP_HOLD_TIME,
     HELLO_INTERVAL,
@@ -38,7 +36,6 @@ from repro.olsr.constants import (
     Willingness,
 )
 from repro.olsr.association import HnaAssociationSet, InterfaceAssociationSet
-from repro.seeding import stable_digest
 from repro.olsr.duplicate import DuplicateSet
 from repro.olsr.link_state import (
     LinkSet,
@@ -61,6 +58,8 @@ from repro.olsr.mpr import select_mprs
 from repro.olsr.packet import OlsrPacket
 from repro.olsr.routing import RoutingTable, compute_routing_table
 from repro.olsr.topology import TopologySet
+from repro.routing.base import DataPacket, RoutingProtocol
+from repro.routing.registry import register_protocol
 
 HelloMutator = Callable[[HelloMessage, "OlsrNode"], HelloMessage]
 TcMutator = Callable[[TcMessage, "OlsrNode"], TcMessage]
@@ -91,19 +90,10 @@ class OlsrConfig:
     hna_networks: tuple = ()
 
 
-@dataclass
-class DataPacket:
-    """Minimal data-plane payload routed hop-by-hop over the OLSR routes."""
-
-    source: str
-    destination: str
-    payload: object
-    ttl: int = 32
-    hops: List[str] = field(default_factory=list)
-
-
-class OlsrNode:
+class OlsrNode(RoutingProtocol):
     """One OLSR router attached to a simulated network."""
+
+    protocol_name = "olsr"
 
     def __init__(
         self,
@@ -113,13 +103,8 @@ class OlsrNode:
         log_store: Optional[LogStore] = None,
         seed: Optional[int] = None,
     ) -> None:
-        self.node_id = node_id
-        self.network = network
-        self.simulator = network.simulator
-        self.config = config or OlsrConfig()
-        self.log = log_store or LogStore(node_id)
-        self.rng = random.Random(seed if seed is not None else stable_digest(node_id) & 0xFFFF)
-        self.stats = NodeStatistics()
+        super().__init__(node_id, network, log_store=log_store, seed=seed)
+        self.config = config if isinstance(config, OlsrConfig) else OlsrConfig()
 
         # Information repositories (RFC §4).
         self.link_set = LinkSet()
@@ -134,19 +119,9 @@ class OlsrNode:
         self.mpr_set: Set[str] = set()
         self.ansn = 0
 
-        # Attack / monitoring hooks.
+        # OLSR-specific attack hooks (generic ones live on the base class).
         self.hello_mutators: List[HelloMutator] = []
         self.tc_mutators: List[TcMutator] = []
-        self.forward_filters: List[ForwardFilter] = []
-        self.message_taps: List[MessageTap] = []
-        self.data_handlers: List[Callable[[DataPacket, str], None]] = []
-
-        self._started = False
-        self.interface = network.interfaces.get(node_id)
-        if self.interface is None:
-            self.interface = network.create_interface(node_id)
-        self.interface.bind(self._on_frame)
-        network.attach_node(node_id, self)
 
     # ------------------------------------------------------------------ life
     def start(self) -> None:
@@ -193,16 +168,6 @@ class OlsrNode:
             start_delay=self.config.hello_interval,
         )
 
-    def stop(self) -> None:
-        """Mark the node stopped (interface stays registered but silent)."""
-        self._started = False
-        self.log.log(self.now, LogCategory.SYSTEM, "NODE_STOPPED")
-
-    @property
-    def now(self) -> float:
-        """Current simulated time."""
-        return self.simulator.now
-
     # ----------------------------------------------------------- state views
     def symmetric_neighbors(self) -> Set[str]:
         """Current 1-hop symmetric neighbours (the paper's ``NS``)."""
@@ -228,13 +193,21 @@ class OlsrNode:
         """Whether ``address`` has selected this node as MPR."""
         return self.mpr_selector_set.contains(address)
 
-    def local_topology_answer(self, link_peer: str) -> bool:
-        """Answer an investigation query: "is ``link_peer`` your symmetric neighbour?".
+    def peer_advertises(self, peer: str, address: str) -> bool:
+        """Whether ``peer``'s HELLOs advertise ``address`` as its neighbour."""
+        return address in self.two_hop_set.reachable_through(peer)
 
-        This is the truthful answer used by well-behaving nodes; liars go
-        through :class:`repro.attacks.liar.LiarBehavior` instead.
-        """
-        return link_peer in self.symmetric_neighbors()
+    def next_hop(self, destination: str) -> Optional[str]:
+        """Next hop toward ``destination`` from the proactive routing table."""
+        return self.routing_table.next_hop(destination)
+
+    def route_distance(self, destination: str) -> Optional[int]:
+        """Hop count toward ``destination``, if routed."""
+        return self.routing_table.distance(destination)
+
+    def known_destinations(self) -> Set[str]:
+        """Destinations present in the routing table."""
+        return set(self.routing_table.destinations())
 
     # ------------------------------------------------------------- emission
     def _emit_hello(self) -> None:
@@ -336,13 +309,11 @@ class OlsrNode:
                      networks=[f"{net}/{mask}" for net, mask in hna.networks])
 
     # -------------------------------------------------------------- reception
-    def _on_frame(self, frame: Frame, now: float) -> None:
-        payload = frame.payload
+    def handle_control(self, payload: object, last_hop: str) -> None:
+        """Unpack an OLSR packet and process the bundled messages."""
         if isinstance(payload, OlsrPacket):
             for message in payload:
-                self._on_message(message, frame.source)
-        elif isinstance(payload, DataPacket):
-            self._on_data(payload, frame.source)
+                self._on_message(message, last_hop)
 
     def _on_message(self, message: OlsrMessage, last_hop: str) -> None:
         if message.originator == self.node_id:
@@ -599,46 +570,9 @@ class OlsrNode:
         self.interface.broadcast(packet, size_bytes=packet.size_bytes())
 
     # -------------------------------------------------------------- data plane
-    def send_data(self, destination: str, payload: object, ttl: int = 32) -> bool:
-        """Send a data packet towards ``destination`` using the routing table.
-
-        Returns ``False`` when no route is known (the packet is not sent).
-        """
-        packet = DataPacket(source=self.node_id, destination=destination,
-                            payload=payload, ttl=ttl, hops=[self.node_id])
-        return self._route_data(packet)
-
-    def _route_data(self, packet: DataPacket) -> bool:
-        next_hop = self.routing_table.next_hop(packet.destination)
-        if next_hop is None:
-            self.log.log(self.now, LogCategory.DROP, "FILTERED",
-                         reason="no_route", destination=packet.destination)
-            return False
-        self.interface.unicast(next_hop, packet, size_bytes=64 + 8 * packet.ttl)
-        return True
-
-    def _on_data(self, packet: DataPacket, last_hop: str) -> None:
-        if packet.destination == self.node_id:
-            for handler in self.data_handlers:
-                handler(packet, last_hop)
-            return
-        if packet.ttl <= 1:
-            self.log.log(self.now, LogCategory.DROP, "TTL_EXPIRED",
-                         origin=packet.source, destination=packet.destination)
-            return
-        for forward_filter in self.forward_filters:
-            pseudo = OlsrMessage(originator=packet.source, body=TcMessage(ansn=0))
-            if not forward_filter(pseudo, last_hop, self):
-                self.stats.messages_dropped += 1
-                self.log.log(self.now, LogCategory.DROP, "FILTERED",
-                             reason="data_forward_filter", origin=packet.source,
-                             destination=packet.destination)
-                return
-        packet.ttl -= 1
-        packet.hops.append(self.node_id)
-        self.log.log(self.now, LogCategory.FORWARD, "RELAYED",
-                     origin=packet.source, destination=packet.destination, kind="data")
-        self._route_data(packet)
+    def _data_filter_probe(self, packet: DataPacket) -> OlsrMessage:
+        """Drop attacks inspect data relays through a TC-shaped pseudo-message."""
+        return OlsrMessage(originator=packet.source, body=TcMessage(ansn=0))
 
     # ------------------------------------------------------------ maintenance
     def _housekeeping(self) -> None:
@@ -715,9 +649,23 @@ class OlsrNode:
         """Summary of the node's protocol state (used by examples/reports)."""
         return {
             "node": self.node_id,
+            "protocol": self.protocol_name,
             "symmetric_neighbors": sorted(self.symmetric_neighbors()),
             "two_hop_neighbors": sorted(self.two_hop_neighbors()),
             "mprs": sorted(self.mpr_set),
             "mpr_selectors": sorted(self.mpr_selector_set.addresses()),
             "routes": len(self.routing_table),
         }
+
+
+def _build_olsr(node_id, network, config=None, log_store=None, seed=None):
+    return OlsrNode(node_id, network, config=config,
+                    log_store=log_store, seed=seed)
+
+
+register_protocol(
+    "olsr",
+    _build_olsr,
+    "OLSR (RFC 3626): proactive link-state routing with MPR flooding "
+    "(the paper's protocol)",
+)

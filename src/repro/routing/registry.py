@@ -1,0 +1,95 @@
+"""Registry of routing-protocol backends.
+
+Experiments select a backend by name (the ``protocol`` engine axis); the
+registry maps that name to a factory building one router instance per node.
+Built-in backends register themselves on first use via a lazy import, so
+``import repro.routing`` stays cheap and free of circular imports.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.routing.base import RoutingProtocol
+
+#: Modules that register the built-in backends as an import side effect.
+_BUILTIN_MODULES = (
+    "repro.olsr.node",
+    "repro.routing.aodv",
+    "repro.routing.geo",
+)
+
+_REGISTRY: Dict[str, "ProtocolInfo"] = {}
+_builtins_loaded = False
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """One registered routing backend."""
+
+    name: str
+    factory: Callable[..., RoutingProtocol]
+    description: str = ""
+
+
+class UnknownProtocolError(KeyError):
+    """Raised when a protocol name is not in the registry."""
+
+
+def register_protocol(
+    name: str,
+    factory: Callable[..., RoutingProtocol],
+    description: str = "",
+) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory is called as ``factory(node_id, network, config=...,
+    log_store=..., seed=...)`` and must return a started-able
+    :class:`~repro.routing.base.RoutingProtocol`.  Re-registering a name
+    replaces the previous entry (useful in tests).
+    """
+    _REGISTRY[name] = ProtocolInfo(name=name, factory=factory,
+                                   description=description)
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for module_name in _BUILTIN_MODULES:
+        importlib.import_module(module_name)
+
+
+def get_protocol(name: str) -> ProtocolInfo:
+    """Look up one backend; raises :class:`UnknownProtocolError` if absent."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise UnknownProtocolError(
+            f"unknown routing protocol {name!r} (registered: {known})"
+        ) from None
+
+
+def list_protocols() -> List[ProtocolInfo]:
+    """All registered backends, sorted by name."""
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def create_protocol(
+    name: str,
+    node_id: str,
+    network,
+    config: Optional[object] = None,
+    log_store=None,
+    seed: Optional[int] = None,
+) -> RoutingProtocol:
+    """Instantiate one router of protocol ``name`` attached to ``network``."""
+    info = get_protocol(name)
+    return info.factory(node_id, network, config=config,
+                        log_store=log_store, seed=seed)

@@ -105,6 +105,8 @@ def check_mpr_coverage(scenario) -> List[InvariantViolation]:
     violations: List[InvariantViolation] = []
     for node_id, node in sorted(scenario.nodes.items()):
         olsr = getattr(node, "olsr", node)
+        if not hasattr(olsr, "two_hop_set"):
+            continue  # MPR coverage is an OLSR property; other backends skip
         symmetric = olsr.symmetric_neighbors()
         willingness = {n.neighbor_address: n.willingness for n in olsr.neighbor_set}
         coverage: Dict[str, Set[str]] = olsr.two_hop_set.coverage_map()

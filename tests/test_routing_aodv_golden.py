@@ -1,0 +1,203 @@
+"""Golden tests of the AODV backend on hand-checked topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logs.records import LogCategory
+from repro.routing.aodv import AodvConfig, AodvNode
+from tests.conftest import CHAIN_POSITIONS, make_network
+
+#: Long enough for HELLO-based neighbour sensing to converge on any of the
+#: hand-checked topologies (hello interval 2 s + jitter).
+SENSING_TIME = 10.0
+
+
+def make_aodv_network(positions, radio_range: float = 250.0, seed: int = 0,
+                      config: AodvConfig | None = None):
+    """Build a network plus one started AODV node per position."""
+    network = make_network(positions, radio_range=radio_range, seed=seed)
+    nodes = {}
+    for index, node_id in enumerate(positions):
+        nodes[node_id] = AodvNode(node_id, network, config=config,
+                                  seed=seed + index)
+    for node in nodes.values():
+        node.start()
+    return network, nodes
+
+
+@pytest.fixture
+def aodv_chain():
+    """The 4-node chain A - B - C - D with started AODV nodes."""
+    return make_aodv_network(CHAIN_POSITIONS)
+
+
+def test_hello_neighbor_sensing(aodv_chain):
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    assert nodes["A"].symmetric_neighbors() == {"B"}
+    assert nodes["B"].symmetric_neighbors() == {"A", "C"}
+    assert nodes["C"].symmetric_neighbors() == {"B", "D"}
+    assert nodes["D"].symmetric_neighbors() == {"C"}
+
+
+def test_no_proactive_multi_hop_routes(aodv_chain):
+    """AODV is reactive: before any traffic, only 1-hop HELLO routes exist."""
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    assert nodes["A"].next_hop("D") is None
+    assert nodes["A"].known_destinations() == {"B"}
+
+
+def test_route_discovery_delivers_and_installs_routes(aodv_chain):
+    network, nodes = aodv_chain
+    delivered = []
+    nodes["D"].data_handlers.append(
+        lambda packet, last_hop: delivered.append((packet.payload, packet.hops)))
+    network.run(until=SENSING_TIME)
+
+    # send_data returns True: the packet is buffered while discovery runs.
+    assert nodes["A"].send_data("D", "ping") is True
+    network.run(until=SENSING_TIME + 5.0)
+
+    assert delivered == [("ping", ["A", "B", "C"])]
+    # Forward route at the originator, hop count 3 via B.  (C answers the
+    # RREQ from its HELLO-installed 1-hop route to D — the RFC 3561 §6.6
+    # intermediate reply — so the flood need not reach D itself.)
+    assert nodes["A"].next_hop("D") == "B"
+    assert nodes["A"].route_distance("D") == 3
+    assert nodes["B"].next_hop("D") == "C"
+    # Reverse routes toward the originator, built from the RREQ flood.
+    assert nodes["B"].next_hop("A") == "A"
+    assert nodes["C"].next_hop("A") == "B"
+
+
+def test_rreq_duplicate_suppression(aodv_chain):
+    """Each node relays a given (originator, rreq_id) flood at most once."""
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    nodes["A"].send_data("D", "ping")
+    network.run(until=SENSING_TIME + 5.0)
+    for node in nodes.values():
+        seen = set()
+        for record in node.log.by_category(LogCategory.FORWARD):
+            if record.event != "RELAYED" or record.get("seq") is None:
+                continue
+            key = (record.get("origin"), record.get("seq"))
+            assert key not in seen, f"{node.node_id} relayed {key} twice"
+            seen.add(key)
+
+
+def test_route_expiry_without_traffic(aodv_chain):
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    nodes["A"].send_data("D", "ping")
+    network.run(until=SENSING_TIME + 5.0)
+    assert nodes["A"].routes["D"].valid
+
+    # No traffic for longer than active_route_timeout: housekeeping expires
+    # the route (HELLOs keep only the 1-hop neighbour routes alive).
+    config = nodes["A"].config
+    network.run(until=network.now + config.active_route_timeout + 5.0)
+    assert nodes["A"].next_hop("D") is None
+    expirations = [
+        record for record in nodes["A"].log.by_category(LogCategory.ROUTE)
+        if record.event == "ROUTE_EXPIRED" and record.get("destination") == "D"
+    ]
+    assert expirations, "route expiry was not logged"
+
+
+def test_rerr_invalidates_routes_upstream(aodv_chain):
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    nodes["A"].send_data("D", "ping")
+    network.run(until=SENSING_TIME + 5.0)
+    assert nodes["A"].routes["D"].valid
+    old_seq = nodes["A"].routes["D"].destination_seq
+
+    # D dies.  C notices the lost neighbour after neighbor_hold_time,
+    # invalidates its route and broadcasts a RERR that propagates through
+    # B (whose route to D runs via C) up to A (whose route runs via B).
+    nodes["D"].stop()
+    nodes["A"].send_data("D", "keepalive")  # refresh A's route before loss
+    network.run(until=network.now + nodes["C"].config.neighbor_hold_time + 3.0)
+
+    assert not nodes["A"].routes["D"].valid
+    assert nodes["A"].next_hop("D") is None
+    # The invalidation bumped the destination sequence number (freshness).
+    assert nodes["A"].routes["D"].destination_seq > old_seq
+    rerrs = [
+        record for record in nodes["A"].log.by_category(LogCategory.MESSAGE_RX)
+        if record.event == "RERR"
+    ]
+    assert rerrs, "A never received the propagated RERR"
+
+
+def test_discovery_failure_drops_buffered_packets(aodv_chain):
+    """An unreachable destination exhausts the retries and drops the queue."""
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    assert nodes["A"].send_data("nowhere", "lost") is True
+    config = nodes["A"].config
+    retry_budget = (config.rreq_retries + 2) * config.rreq_retry_interval
+    network.run(until=network.now + retry_budget + 3.0)
+
+    assert "nowhere" not in nodes["A"].describe()["pending_discoveries"]
+    drops = [
+        record for record in nodes["A"].log.by_category(LogCategory.DROP)
+        if record.get("reason") == "route_discovery_failed"
+    ]
+    assert drops, "buffered packets were not dropped after failed discovery"
+
+
+def test_intermediate_node_answers_with_fresh_route(aodv_chain):
+    """RFC 3561 §6.6: an intermediate node with a fresh route replies itself."""
+    from repro.routing.aodv import RouteRequest
+
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    nodes["A"].send_data("D", "warm")  # installs a D-route at B and C
+    network.run(until=SENSING_TIME + 5.0)
+    assert nodes["B"].routes["D"].valid
+
+    # Inject a fresh discovery for D at B: B's cached route satisfies it,
+    # so B replies itself instead of re-flooding the request.
+    nodes["B"].handle_control(
+        RouteRequest(originator="A", rreq_id=99, originator_seq=5,
+                     destination="D", destination_seq=None),
+        last_hop="A",
+    )
+    replies = [
+        record for record in nodes["B"].log.by_category(LogCategory.MESSAGE_TX)
+        if record.event == "RREP" and record.get("destination") == "D"
+        and record.get("requester") == "A"
+    ]
+    assert replies, "B did not answer the RREQ from its route cache"
+    relays = [
+        record for record in nodes["B"].log.by_category(LogCategory.FORWARD)
+        if record.event == "RELAYED" and record.get("seq") == 99
+    ]
+    assert not relays, "B relayed a RREQ it should have answered"
+
+
+def test_destination_answers_with_incremented_sequence(aodv_chain):
+    """The destination itself answers a RREQ with a fresh sequence number."""
+    from repro.routing.aodv import RouteRequest
+
+    network, nodes = aodv_chain
+    network.run(until=SENSING_TIME)
+    before = nodes["D"].sequence_number
+    nodes["D"].handle_control(
+        RouteRequest(originator="C", rreq_id=7, originator_seq=2,
+                     destination="D", destination_seq=before),
+        last_hop="C",
+    )
+    assert nodes["D"].sequence_number == before + 1
+    replies = [
+        record for record in nodes["D"].log.by_category(LogCategory.MESSAGE_TX)
+        if record.event == "RREP" and record.get("requester") == "C"
+    ]
+    # Log fields are stringified by the audit store.
+    assert replies and replies[-1].get("seq") == str(before + 1)
+    # The reverse route toward the requester was installed first (§6.5).
+    assert nodes["D"].next_hop("C") == "C"
