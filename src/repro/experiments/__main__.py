@@ -13,6 +13,11 @@ compatibility)::
     python -m repro.experiments campaign --node-counts 8,16 --workers 4
     python -m repro.experiments report --db sweep.sqlite --experiment confidence_sweep
     python -m repro.experiments validate --seeds 25
+    python -m repro.experiments fabric dispatch figure3 --queue fabric.sqlite
+    python -m repro.experiments fabric work --queue fabric.sqlite --group a --shard-dir shards/
+    python -m repro.experiments fabric merge --into merged.sqlite --queue fabric.sqlite shards/shard-*.sqlite
+    python -m repro.experiments fabric serve --db merged.sqlite --port 8080
+    python -m repro.experiments report --url http://127.0.0.1:8080 --experiment figure3
 
 ``run`` executes any registered experiment through the shared engine
 (:mod:`repro.experiments.engine`): parallel fan-out (``--workers``), durable
@@ -30,9 +35,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.experiments._cli import emit_report, open_store, require_store_file
+from repro.experiments._cli import (
+    emit_report,
+    open_store,
+    parse_axis,
+    parse_param,
+    parse_value,
+    require_store_file,
+)
 from repro.experiments.engine import (
     BACKENDS,
     get_experiment,
@@ -43,40 +55,10 @@ from repro.experiments.report import format_table
 
 _PROG = "python -m repro.experiments"
 
-
-def _parse_value(raw: str) -> object:
-    """Parse one CLI value: int, float, bool, None or bare string."""
-    text = raw.strip()
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    if lowered in ("none", "null"):
-        return None
-    for converter in (int, float):
-        try:
-            return converter(text)
-        except ValueError:
-            continue
-    return text
-
-
-def _parse_axis(raw: str) -> Tuple[str, Tuple[object, ...]]:
-    name, sep, values = raw.partition("=")
-    if not sep or not name.strip():
-        raise argparse.ArgumentTypeError(
-            f"axis override {raw!r} must look like name=v1,v2")
-    parsed = tuple(_parse_value(part) for part in values.split(",") if part.strip())
-    if not parsed:
-        raise argparse.ArgumentTypeError(f"axis override {raw!r} has no values")
-    return name.strip(), parsed
-
-
-def _parse_param(raw: str) -> Tuple[str, object]:
-    name, sep, value = raw.partition("=")
-    if not sep or not name.strip():
-        raise argparse.ArgumentTypeError(
-            f"parameter override {raw!r} must look like name=value")
-    return name.strip(), _parse_value(value)
+# Historic aliases (tests and external scripts import these names from here).
+_parse_value = parse_value
+_parse_axis = parse_axis
+_parse_param = parse_param
 
 
 def build_run_parser() -> argparse.ArgumentParser:
@@ -117,10 +99,15 @@ def build_report_parser() -> argparse.ArgumentParser:
         description="Re-aggregate a stored run from its SQLite results store "
                     "without executing anything.  With --experiment the "
                     "experiment's own report is rendered (byte-identical to "
-                    "the live run); without it every stored row is tabulated.",
+                    "the live run); without it every stored row is tabulated. "
+                    "With --url the report is fetched from a running fabric "
+                    "results service instead of a local store.",
     )
-    parser.add_argument("--db", type=str, required=True, metavar="FILE",
+    parser.add_argument("--db", type=str, default=None, metavar="FILE",
                         help="SQLite results store written by a --db run")
+    parser.add_argument("--url", type=str, default=None, metavar="URL",
+                        help="base URL of a fabric results service "
+                             "(python -m repro.experiments fabric serve)")
     parser.add_argument("--experiment", type=str, default=None,
                         help="render this experiment's report from the store")
     parser.add_argument("--backend", choices=BACKENDS, default=None,
@@ -229,9 +216,41 @@ def run_main(argv: Sequence[str]) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The engine already cancelled queued cells and committed every
+        # completed one (see execute_pending_cells), so the store is clean.
+        if args.db:
+            print(f"\ninterrupted: completed cells are committed to {args.db}; "
+                  f"re-run with --resume to finish the campaign", file=sys.stderr)
+        else:
+            print("\ninterrupted: no --db store, completed cells were "
+                  "discarded", file=sys.stderr)
+        return 130
     finally:
         if store is not None:
             store.close()
+    return emit_report(report, args.output)
+
+
+def _report_from_url(args, parser) -> int:
+    """The ``report --url`` path: fetch from a fabric results service."""
+    from repro.fabric import client
+    from urllib.error import URLError
+
+    try:
+        if args.experiment:
+            fetched = client.fetch_report(args.url, args.experiment)
+            if fetched.status != 200:
+                client._raise_for_status(fetched)
+            report = fetched.text()
+        else:
+            experiments = client.fetch_experiments(args.url)
+            report = format_table(experiments,
+                                  title=f"Served experiments — {args.url}")
+    except (URLError, OSError, RuntimeError) as error:
+        print(f"error: cannot fetch report from {args.url}: {error}",
+              file=sys.stderr)
+        return 1
     return emit_report(report, args.output)
 
 
@@ -239,12 +258,23 @@ def report_main(argv: Sequence[str]) -> int:
     """Entry point of the ``report`` subcommand."""
     parser = build_report_parser()
     args = parser.parse_args(argv)
+    if bool(args.db) == bool(args.url):
+        parser.error("exactly one of --db and --url is required")
+    if args.url:
+        return _report_from_url(args, parser)
     if not require_store_file(args.db):
         return 1
     store = open_store(args.db)
     if store is None:
         return 1
     with store:
+        if store.count_rows() == 0:
+            # An empty table would render and exit 0 — indistinguishable
+            # from a successful report of a completed run.
+            print(f"error: results store {args.db} holds no completed cells "
+                  f"— nothing to report (was the campaign run with --db, "
+                  f"or the shards merged?)", file=sys.stderr)
+            return 1
         if args.experiment:
             try:
                 get_experiment(args.experiment)
@@ -266,6 +296,12 @@ def report_main(argv: Sequence[str]) -> int:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
             report = result.format_report()
+            if not result.rows():
+                print(f"error: results store {args.db} holds no completed "
+                      f"cells of experiment {args.experiment!r} (check the "
+                      f"--axis/--param/--seed flags match the stored run)",
+                      file=sys.stderr)
+                return 1
         else:
             rows = list(store.iter_rows())
             report = format_table(rows, title=f"Stored rows — {args.db}")
@@ -346,8 +382,10 @@ commands:
   list        list the registered experiments and scenario profiles
   run         run one experiment (parallel fan-out, resume, backend swap)
   campaign    run a declarative scenario campaign (full MANET grid)
-  report      re-aggregate a stored run/campaign without executing anything
+  report      re-aggregate a stored run/campaign (--db) or fetch it from a
+              fabric results service (--url)
   validate    fuzz scenario profiles through invariant + differential checks
+  fabric      distributed campaigns: dispatch | work | merge | serve | status
 
 run '{_PROG} <command> --help' for the command's options."""
 
@@ -371,6 +409,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return report_main(rest)
     if command == "validate":
         return validate_main(rest)
+    if command == "fabric":
+        from repro.fabric.cli import main as fabric_main
+
+        return fabric_main(rest)
     print(f"error: unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
     return 2
 

@@ -8,12 +8,50 @@ drifting apart.
 
 from __future__ import annotations
 
+import argparse
 import os
 import sqlite3
 import sys
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.experiments.results import ResultsStore
+
+
+def parse_value(raw: str) -> object:
+    """Parse one CLI value: int, float, bool, None or bare string."""
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_axis(raw: str) -> Tuple[str, Tuple[object, ...]]:
+    """Parse one ``--axis name=v1,v2`` override."""
+    name, sep, values = raw.partition("=")
+    if not sep or not name.strip():
+        raise argparse.ArgumentTypeError(
+            f"axis override {raw!r} must look like name=v1,v2")
+    parsed = tuple(parse_value(part) for part in values.split(",") if part.strip())
+    if not parsed:
+        raise argparse.ArgumentTypeError(f"axis override {raw!r} has no values")
+    return name.strip(), parsed
+
+
+def parse_param(raw: str) -> Tuple[str, object]:
+    """Parse one ``--param name=value`` override."""
+    name, sep, value = raw.partition("=")
+    if not sep or not name.strip():
+        raise argparse.ArgumentTypeError(
+            f"parameter override {raw!r} must look like name=value")
+    return name.strip(), parse_value(value)
 
 
 def open_store(path: str) -> Optional[ResultsStore]:

@@ -105,6 +105,37 @@ class ExperimentSpec:
         return spec_content_hash(self)
 
 
+def spec_to_jsonable(spec: ExperimentSpec) -> Dict[str, object]:
+    """The spec as a JSON-serialisable dict (fabric queue wire format)."""
+    return {
+        "experiment": spec.experiment,
+        "cell_id": spec.cell_id,
+        "run_id": spec.run_id,
+        "seed": spec.seed,
+        "backend": spec.backend,
+        "params": [list(pair) for pair in spec.params],
+    }
+
+
+def spec_from_jsonable(data: Mapping[str, object]) -> ExperimentSpec:
+    """Rebuild a spec from :func:`spec_to_jsonable` output.
+
+    The round trip is hash-exact: JSON keeps ints, floats (repr-exact),
+    strings, bools and ``None`` intact, and :func:`spec_content_hash`
+    canonicalises tuples and lists identically — so a worker that receives a
+    cell over the fabric queue computes the same content hash the dispatcher
+    enqueued it under.
+    """
+    return ExperimentSpec(
+        experiment=str(data["experiment"]),
+        cell_id=str(data["cell_id"]),
+        run_id=str(data["run_id"]),
+        seed=int(data["seed"]),  # type: ignore[arg-type]
+        backend=str(data["backend"]),
+        params=tuple((str(name), value) for name, value in data["params"]),  # type: ignore[union-attr]
+    )
+
+
 #: Builds the per-cell rows from the backend's ExperimentResult.
 RowsFromResult = Callable[[ExperimentSpec, object], List[Dict[str, object]]]
 
@@ -280,6 +311,27 @@ def list_experiments() -> List[ExperimentDefinition]:
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
+def expand_experiment(
+    name: str,
+    backend: Optional[str] = None,
+    base_seed: Optional[int] = None,
+    axes: Optional[Mapping[str, Sequence]] = None,
+    params: Optional[Mapping[str, object]] = None,
+) -> Tuple[ExperimentDefinition, List[ExperimentSpec], List[str]]:
+    """Resolve a named experiment into its seeded cell grid plus hashes.
+
+    The shared front half of :func:`run_experiment` and the fabric
+    dispatcher (:mod:`repro.fabric.dispatcher`): both must expand the same
+    grid in the same order and key cells by the same content hashes, or a
+    dispatched campaign would not merge back into the single-process report.
+    """
+    definition = get_experiment(name)
+    specs = definition.expand(backend=backend, base_seed=base_seed,
+                              axes=axes, params=params)
+    hashes = [spec.content_hash() for spec in specs]
+    return definition, specs, hashes
+
+
 # ----------------------------------------------------------------- runtime
 def execute_cell(spec: ExperimentSpec) -> List[Dict[str, object]]:
     """Run one cell end to end (the process-pool worker entry point)."""
@@ -310,6 +362,13 @@ def execute_pending_cells(
     1); ``finish(payload, digest, result)`` runs in the parent as each cell
     completes — in completion order, not submission order, so a store-backed
     caller that commits from ``finish`` loses only in-flight cells on a kill.
+
+    A ``KeyboardInterrupt`` (Ctrl-C, or one raised out of a worker) exits
+    *gracefully*: queued cells are cancelled, cells that already completed
+    are still committed through ``finish``, and the interrupt is re-raised —
+    so an interrupted ``--db`` campaign resumes cleanly with exactly the
+    finished cells stored.  Only cells in flight at the moment of the
+    interrupt are lost.
     """
     if workers is not None and workers > 1 and len(pending) > 1:
         max_workers = min(workers, len(pending))
@@ -317,11 +376,28 @@ def execute_pending_cells(
             futures = {executor.submit(execute, payload): (payload, digest)
                        for payload, digest in pending}
             remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    payload, digest = futures[future]
-                    finish(payload, digest, future.result())
+            finished = set()
+            try:
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        payload, digest = futures[future]
+                        result = future.result()
+                        finish(payload, digest, result)
+                        finished.add(future)
+            except KeyboardInterrupt:
+                for future in futures:
+                    if future not in finished:
+                        future.cancel()
+                # Commit every cell that finished but was not folded in yet;
+                # ``finish`` (a store commit) is idempotent per digest.
+                for future, (payload, digest) in futures.items():
+                    if future in finished or not future.done() or future.cancelled():
+                        continue
+                    if future.exception() is None:
+                        finish(payload, digest, future.result())
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
     else:
         for payload, digest in pending:
             finish(payload, digest, execute(payload))
@@ -430,10 +506,8 @@ def run_experiment(
     Because every cell derives all randomness from its own stable seed, the
     returned report is identical whichever execution mode produced it.
     """
-    definition = get_experiment(name)
-    specs = definition.expand(backend=backend, base_seed=base_seed,
-                              axes=axes, params=params)
-    hashes = [spec.content_hash() for spec in specs]
+    definition, specs, hashes = expand_experiment(
+        name, backend=backend, base_seed=base_seed, axes=axes, params=params)
 
     completed = set()
     if store is not None and resume:

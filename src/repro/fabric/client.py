@@ -1,0 +1,88 @@
+"""Thin stdlib client of the fabric results service.
+
+Used by ``python -m repro.experiments report --url …`` and by anything that
+wants stored campaign results without touching the SQLite file — the
+service's ETag contract means a caller that remembers the last ETag pays a
+``304`` (no body) whenever nothing changed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """One service response (``status`` 304 ⇒ ``body`` is empty)."""
+
+    status: int
+    body: bytes
+    etag: Optional[str]
+    cache: Optional[str]
+
+    @property
+    def not_modified(self) -> bool:
+        return self.status == 304
+
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+
+def fetch(url: str, etag: Optional[str] = None, timeout: float = 10.0) -> FetchResult:
+    """GET one service URL, optionally revalidating a previous ETag."""
+    request = Request(url)
+    if etag is not None:
+        request.add_header("If-None-Match", etag)
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            return FetchResult(
+                status=response.status,
+                body=response.read(),
+                etag=response.headers.get("ETag"),
+                cache=response.headers.get("X-Cache"),
+            )
+    except HTTPError as error:
+        # 304 arrives as an HTTPError in urllib; real errors carry a JSON body.
+        body = error.read()
+        return FetchResult(status=error.code, body=body,
+                           etag=error.headers.get("ETag"),
+                           cache=error.headers.get("X-Cache"))
+
+
+def _base(url: str) -> str:
+    return url.rstrip("/")
+
+
+def fetch_experiments(base_url: str, timeout: float = 10.0) -> List[dict]:
+    """The service's experiment index as a list of dicts."""
+    result = fetch(f"{_base(base_url)}/experiments", timeout=timeout)
+    _raise_for_status(result)
+    return json.loads(result.text())["experiments"]
+
+
+def fetch_rows(base_url: str, experiment: str, timeout: float = 10.0) -> List[dict]:
+    """Every flat result row of one experiment."""
+    result = fetch(f"{_base(base_url)}/experiments/{experiment}/rows",
+                   timeout=timeout)
+    _raise_for_status(result)
+    return json.loads(result.text())
+
+
+def fetch_report(base_url: str, experiment: str, etag: Optional[str] = None,
+                 timeout: float = 10.0) -> FetchResult:
+    """One experiment's plain-text report (or 304 when ``etag`` still holds)."""
+    return fetch(f"{_base(base_url)}/experiments/{experiment}/report",
+                 etag=etag, timeout=timeout)
+
+
+def _raise_for_status(result: FetchResult) -> None:
+    if result.status != 200:
+        try:
+            message = json.loads(result.text()).get("error", result.text())
+        except (ValueError, UnicodeDecodeError):
+            message = f"HTTP {result.status}"
+        raise RuntimeError(f"results service error: {message}")

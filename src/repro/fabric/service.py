@@ -1,0 +1,246 @@
+"""Read-only results service over a canonical (merged) results store.
+
+The "millions of users" story of the platform is many *readers* hitting
+precomputed sweep aggregates, not many simulators — so this service is
+deliberately boring: stdlib :mod:`http.server`, three GET endpoints, and
+two layers of caching in front of the SQLite store:
+
+* an **in-process LRU** over fully-rendered responses, invalidated by the
+  store file's ``(mtime, size)`` generation — a repeated request never
+  reopens the database, it is served from memory (``X-Cache: HIT``);
+* **ETag revalidation** — every response carries a content-hash ETag; a
+  client replaying it via ``If-None-Match`` gets ``304 Not Modified`` with
+  an empty body, so polling dashboards cost bytes only when results change.
+
+Endpoints::
+
+    GET /experiments                      JSON index of stored experiments
+    GET /experiments/<name>/rows          JSON array of the flat result rows
+    GET /experiments/<name>/report        the plain-text report
+
+``/report`` renders the experiment's *exact* engine report when the store
+carries the run context the fabric dispatcher recorded (``merge --queue``
+stamps it in), making the served bytes identical to
+``python -m repro.experiments report --db <store> --experiment <name>``
+with the dispatch-time flags; without a context it falls back to a generic
+table of the experiment's rows.
+
+The HTTP layer is a thin shell over :meth:`ResultsService.handle`, which is
+a pure ``(path, if_none_match) -> (status, headers, body)`` function — unit
+tests exercise it without sockets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import unquote
+
+from repro.experiments.results import ResultsStore
+
+Response = Tuple[int, Dict[str, str], bytes]
+
+
+class ResultsService:
+    """Request handling + caching, independent of any socket (see module doc)."""
+
+    def __init__(self, store_path: str, cache_size: int = 64) -> None:
+        self.store_path = store_path
+        self.cache_size = cache_size
+        self._lock = threading.Lock()
+        #: path -> (store generation, etag, content type, body)
+        self._cache: "OrderedDict[str, Tuple[Tuple[int, int], str, str, bytes]]"
+        self._cache = OrderedDict()
+
+    # -------------------------------------------------------------- caching
+    def _generation(self) -> Optional[Tuple[int, int]]:
+        try:
+            stat = os.stat(self.store_path)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def handle(self, path: str, if_none_match: Optional[str] = None) -> Response:
+        """Serve one GET request; returns ``(status, headers, body)``."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        generation = self._generation()
+        if generation is None:
+            return _error(503, f"results store {self.store_path} is not readable")
+        with self._lock:
+            cached = self._cache.get(path)
+            if cached is not None and cached[0] == generation:
+                self._cache.move_to_end(path)
+                _, etag, content_type, body = cached
+                return _respond(etag, content_type, body, if_none_match,
+                                cache="HIT")
+            try:
+                built = self._build(path)
+            except KeyError as error:
+                return _error(404, str(error.args[0]))
+            if built is None:
+                return _error(404, f"unknown path {path!r} (try /experiments)")
+            content_type, body = built
+            etag = f'"{hashlib.sha256(body).hexdigest()}"'
+            self._cache[path] = (generation, etag, content_type, body)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return _respond(etag, content_type, body, if_none_match, cache="MISS")
+
+    # ------------------------------------------------------------- building
+    def _build(self, path: str) -> Optional[Tuple[str, bytes]]:
+        if path == "/experiments":
+            return self._build_index()
+        parts = path.strip("/").split("/")
+        if len(parts) == 3 and parts[0] == "experiments":
+            name = unquote(parts[1])
+            if parts[2] == "rows":
+                return self._build_rows(name)
+            if parts[2] == "report":
+                return self._build_report(name)
+        return None
+
+    def _open(self) -> ResultsStore:
+        # A fresh connection per (uncached) build keeps the service
+        # thread-safe without sharing one SQLite handle across threads.
+        return ResultsStore(self.store_path)
+
+    def _build_index(self) -> Tuple[str, bytes]:
+        experiments: Dict[str, Dict[str, int]] = {}
+        with self._open() as store:
+            for record in store.iter_records():
+                name = _experiment_of(record)
+                entry = experiments.setdefault(name, {"cells": 0, "rows": 0})
+                entry["cells"] += 1
+                decoded = json.loads(record.row_json)
+                entry["rows"] += len(decoded) if isinstance(decoded, list) else 1
+            contexts = dict(store.iter_meta("context:"))
+        payload = {
+            "store": os.path.basename(self.store_path),
+            "experiments": [
+                {"name": name,
+                 "cells": entry["cells"],
+                 "rows": entry["rows"],
+                 "report": f"/experiments/{name}/report",
+                 "has_context": f"context:{name}" in contexts}
+                for name, entry in sorted(experiments.items())
+            ],
+        }
+        return _json_body(payload)
+
+    def _iter_experiment_rows(self, store: ResultsStore, name: str):
+        found = False
+        for record in store.iter_records():
+            if _experiment_of(record) != name:
+                continue
+            found = True
+            decoded = json.loads(record.row_json)
+            if isinstance(decoded, list):
+                yield from decoded
+            else:
+                yield decoded
+        if not found:
+            raise KeyError(f"no stored cells for experiment {name!r}")
+
+    def _build_rows(self, name: str) -> Tuple[str, bytes]:
+        with self._open() as store:
+            rows = list(self._iter_experiment_rows(store, name))
+        return _json_body(rows)
+
+    def _build_report(self, name: str) -> Tuple[str, bytes]:
+        from repro.experiments.engine import run_experiment
+        from repro.experiments.report import format_table
+
+        with self._open() as store:
+            context_json = store.get_meta(f"context:{name}")
+            if context_json is not None:
+                context = json.loads(context_json)
+                result = run_experiment(
+                    name,
+                    backend=context.get("backend"),
+                    base_seed=context.get("base_seed"),
+                    axes=context.get("axes") or None,
+                    params=context.get("params") or None,
+                    store=store,
+                    resume=True,
+                    max_new_runs=0,  # render-only: never execute in the service
+                )
+                report = result.format_report()
+            else:
+                rows = list(self._iter_experiment_rows(store, name))
+                report = format_table(rows, title=f"Stored rows — {name}")
+        return "text/plain; charset=utf-8", report.encode("utf-8")
+
+
+def _experiment_of(record) -> str:
+    spec = json.loads(record.spec_json)
+    name = spec.get("experiment")
+    if isinstance(name, str) and name:
+        return name
+    return "campaign"
+
+
+def _json_body(payload) -> Tuple[str, bytes]:
+    return ("application/json; charset=utf-8",
+            json.dumps(payload, sort_keys=True, indent=2).encode("utf-8"))
+
+
+def _respond(etag: str, content_type: str, body: bytes,
+             if_none_match: Optional[str], cache: str) -> Response:
+    headers = {"ETag": etag, "X-Cache": cache, "Content-Type": content_type}
+    if if_none_match is not None and if_none_match.strip() == etag:
+        return 304, headers, b""
+    return 200, headers, body
+
+
+def _error(status: int, message: str) -> Response:
+    body = json.dumps({"error": message}).encode("utf-8")
+    return status, {"Content-Type": "application/json; charset=utf-8",
+                    "X-Cache": "MISS"}, body
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: ResultsService  # injected by make_server
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        status, headers, body = self.service.handle(
+            self.path, self.headers.get("If-None-Match"))
+        self.send_response(status)
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output and CI logs quiet
+
+
+def make_server(store_path: str, host: str = "127.0.0.1", port: int = 0,
+                cache_size: int = 64) -> Tuple[ThreadingHTTPServer, ResultsService]:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a free one."""
+    service = ResultsService(store_path, cache_size=cache_size)
+    handler = type("FabricHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    return server, service
+
+
+def serve_forever(store_path: str, host: str = "127.0.0.1", port: int = 0,
+                  cache_size: int = 64) -> int:
+    """Blocking CLI entry point; prints the bound URL before serving."""
+    server, _ = make_server(store_path, host=host, port=port,
+                            cache_size=cache_size)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"fabric: serving {store_path} at http://{bound_host}:{bound_port}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

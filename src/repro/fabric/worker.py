@@ -1,0 +1,154 @@
+"""Fabric worker: claim → execute → commit-to-shard → mark done, repeat.
+
+One worker process owns one *worker group*: it writes every completed cell
+to its own shard store (``shard-<group>.sqlite``), so N groups write N
+SQLite files with zero cross-process contention — the canonical store only
+comes into existence at merge time (:mod:`repro.fabric.merge`).
+
+Liveness: while a batch executes, a daemon heartbeat thread extends the
+batch's lease every ``lease_ttl / 3`` seconds, so a healthy worker never
+loses cells no matter how slow they run; a killed worker stops heartbeating
+and its lease lapses, at which point any other worker's ``claim`` steals
+the batch.  ``Ctrl-C`` releases the unfinished leases immediately instead
+of waiting for the TTL.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.experiments.engine import execute_cell
+from repro.experiments.results import ResultsStore
+from repro.fabric.dispatcher import FabricQueue
+
+
+def shard_store_path(shard_dir: str, group: str) -> str:
+    """Canonical shard-store filename of one worker group."""
+    return os.path.join(shard_dir, f"shard-{group}.sqlite")
+
+
+@dataclass
+class WorkerReport:
+    """What one worker invocation did."""
+
+    group: str
+    shard_path: str
+    executed: int = 0
+    stolen: int = 0
+    lost_leases: int = 0
+    interrupted: bool = False
+    batches: int = 0
+    executed_run_ids: List[str] = field(default_factory=list)
+
+    def format_line(self) -> str:
+        note = " (interrupted)" if self.interrupted else ""
+        return (f"fabric: worker {self.group}: executed {self.executed} cells "
+                f"in {self.batches} batches ({self.stolen} stolen, "
+                f"{self.lost_leases} leases lost) -> {self.shard_path}{note}")
+
+
+class _Heartbeat:
+    """Daemon thread extending the lease of the in-flight batch."""
+
+    def __init__(self, queue: FabricQueue, group: str, lease_ttl: float) -> None:
+        self._queue = queue
+        self._group = group
+        self._ttl = lease_ttl
+        self._lock = threading.Lock()
+        self._hashes: List[str] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def watch(self, hashes: List[str]) -> None:
+        with self._lock:
+            self._hashes = list(hashes)
+
+    def done(self, spec_hash: str) -> None:
+        with self._lock:
+            if spec_hash in self._hashes:
+                self._hashes.remove(spec_hash)
+
+    def _run(self) -> None:
+        interval = max(self._ttl / 3.0, 0.01)
+        while not self._stop.wait(interval):
+            with self._lock:
+                hashes = list(self._hashes)
+            if hashes:
+                self._queue.heartbeat(self._group, hashes, self._ttl)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_worker(
+    queue_path: str,
+    group: str,
+    shard_dir: str,
+    batch_size: int = 4,
+    lease_ttl: float = 30.0,
+    poll: float = 0.2,
+    max_cells: Optional[int] = None,
+    wait_for_work: bool = True,
+    execute: Callable = execute_cell,
+) -> WorkerReport:
+    """Run one worker group until the queue is drained (or ``max_cells``).
+
+    The loop claims a batch, executes each cell, commits its rows to the
+    group's shard store (durable before the queue sees ``done``) and marks
+    it complete.  When nothing is claimable but unfinished cells remain —
+    they are leased to live workers — the worker polls until they either
+    complete or their leases lapse and become stealable; with
+    ``wait_for_work=False`` it returns instead (useful for tests and
+    budgeted runs).  ``max_cells`` bounds this invocation; leftover leases
+    are released so other workers pick them up immediately.
+    """
+    os.makedirs(shard_dir, exist_ok=True)
+    shard_path = shard_store_path(shard_dir, group)
+    report = WorkerReport(group=group, shard_path=shard_path)
+    queue = FabricQueue(queue_path)
+    shard = ResultsStore(shard_path)
+    heartbeat = _Heartbeat(queue, group, lease_ttl)
+    try:
+        while True:
+            budget = batch_size
+            if max_cells is not None:
+                budget = min(budget, max_cells - report.executed)
+                if budget <= 0:
+                    break
+            batch = queue.claim(group, budget, lease_ttl)
+            if not batch:
+                if queue.unfinished() == 0 or not wait_for_work:
+                    break
+                time.sleep(poll)
+                continue
+            report.batches += 1
+            heartbeat.watch([cell.spec_hash for cell in batch])
+            for cell in batch:
+                if cell.stolen:
+                    report.stolen += 1
+                rows = execute(cell.spec)
+                shard.record(cell.spec, rows, spec_hash=cell.spec_hash)
+                heartbeat.done(cell.spec_hash)
+                if queue.complete(group, cell.spec_hash):
+                    report.executed += 1
+                    report.executed_run_ids.append(cell.spec.run_id)
+                else:
+                    # Someone stole the lease mid-execution; the shard row is
+                    # redundant but harmless (the merge dedupes by hash).
+                    report.lost_leases += 1
+    except KeyboardInterrupt:
+        # Completed cells are already durable in the shard; hand the rest
+        # back to the queue so other workers need not wait out the TTL.
+        report.interrupted = True
+        queue.release(group)
+    finally:
+        heartbeat.stop()
+        shard.close()
+        queue.close()
+    return report

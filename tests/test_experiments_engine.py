@@ -253,3 +253,71 @@ def test_register_replaces_existing_definition():
         name="__replaceme__", description="second", rows_from_result=lambda s, r: [])
     register(replacement)
     assert get_experiment("__replaceme__").description == "second"
+
+
+# ----------------------------------------------------- graceful interruption
+def _interruptible_execute(payload):
+    """Module-level (picklable) worker: sleep, then succeed or interrupt."""
+    import time as _time
+
+    name, duration = payload
+    _time.sleep(duration)
+    if name == "boom":
+        raise KeyboardInterrupt
+    return name
+
+
+def test_keyboard_interrupt_commits_completed_and_cancels_pending():
+    """Ctrl-C mid-fan-out must keep finished cells and drop queued ones.
+
+    Four cells on two workers: ``fast`` completes before ``boom`` raises
+    KeyboardInterrupt (standing in for Ctrl-C hitting a worker); ``slow2``
+    is still queued and must be cancelled rather than executed.  The
+    interrupt itself must propagate so the CLI can report the resume path.
+    """
+    import time as _time
+
+    from repro.experiments.engine import execute_pending_cells
+
+    committed = []
+    pending = [(("fast", 0.0), "h-fast"), (("boom", 0.5), "h-boom"),
+               (("slow1", 1.5), "h-slow1"), (("slow2", 1.5), "h-slow2")]
+
+    start = _time.perf_counter()
+    with pytest.raises(KeyboardInterrupt):
+        execute_pending_cells(pending, _interruptible_execute,
+                              lambda payload, digest, result: committed.append(digest),
+                              workers=2)
+    elapsed = _time.perf_counter() - start
+    assert "h-fast" in committed
+    assert "h-boom" not in committed
+    assert "h-slow2" not in committed  # cancelled, never executed
+    # Had both slow cells run to completion serially the loop would take
+    # >3s; cancellation keeps the exit prompt.
+    assert elapsed < 10.0
+
+
+def test_serial_interrupt_keeps_earlier_commits():
+    from repro.experiments.engine import execute_pending_cells
+
+    committed = []
+    with pytest.raises(KeyboardInterrupt):
+        execute_pending_cells(
+            [(("fast", 0.0), "h1"), (("boom", 0.0), "h2"), (("late", 0.0), "h3")],
+            _interruptible_execute,
+            lambda payload, digest, result: committed.append(digest),
+            workers=1)
+    assert committed == ["h1"]
+
+
+# -------------------------------------------------------- fabric-facing API
+def test_expand_experiment_matches_run_expansion():
+    from repro.experiments.engine import expand_experiment
+
+    definition, specs, hashes = expand_experiment(
+        "confidence_sweep", params={"rounds": 5})
+    assert definition.name == "confidence_sweep"
+    assert len(specs) == len(hashes) == 9
+    assert hashes == [spec.content_hash() for spec in specs]
+    assert specs == get_experiment("confidence_sweep").expand(
+        params={"rounds": 5})

@@ -325,3 +325,54 @@ def test_stored_spec_json_round_trips(tmp_path):
         ).fetchone()
         assert stored[0] == "beta"
         assert json.loads(stored[1]) == dataclasses.asdict(spec)
+
+
+# ------------------------------------------------- fabric-facing store APIs
+def test_count_rows_flattens_multi_row_cells(tmp_path):
+    with ResultsStore(str(tmp_path / "runs.sqlite")) as store:
+        assert store.count_rows() == 0
+        store.record(_spec(run_id="single"), {"run_id": "single"})
+        multi = [{"run_id": "multi", "node": i} for i in range(5)]
+        store.record(_spec(run_id="multi", seed=2), multi)
+        assert store.count_rows() == 6
+        assert len(store) == 2
+
+
+def test_has_cell_mirrors_containment(tmp_path):
+    with ResultsStore(str(tmp_path / "runs.sqlite")) as store:
+        digest = store.record(_spec(), {"run_id": "x"})
+        assert store.has_cell(digest)
+        assert not store.has_cell("absent")
+
+
+def test_meta_round_trip_and_prefix_iteration(tmp_path):
+    with ResultsStore(str(tmp_path / "runs.sqlite")) as store:
+        store.set_meta("context:figure1", '{"params":{}}')
+        store.set_meta("context:figure2", '{"params":{"rounds":3}}')
+        store.set_meta("note", "hello")
+        assert store.get_meta("context:figure1") == '{"params":{}}'
+        assert store.get_meta("absent", "fallback") == "fallback"
+        assert list(store.iter_meta("context:")) == [
+            ("context:figure1", '{"params":{}}'),
+            ("context:figure2", '{"params":{"rounds":3}}'),
+        ]
+        # schema_version is managed by the store and never exposed/overwritten.
+        assert all(key != "schema_version" for key, _ in store.iter_meta())
+        with pytest.raises(ValueError):
+            store.set_meta("schema_version", "999")
+
+
+def test_iter_records_streams_raw_stored_text(tmp_path):
+    import json
+
+    with ResultsStore(str(tmp_path / "runs.sqlite")) as store:
+        spec = _spec(run_id="raw")
+        digest = store.record(spec, {"run_id": "raw", "x": float("inf")})
+        records = list(store.iter_records())
+        assert len(records) == 1
+        record = records[0]
+        assert record.spec_hash == digest
+        assert record.run_id == "raw"
+        assert record.system == "detector"
+        assert record.row_json == store.raw_row_json(digest)
+        assert json.loads(record.spec_json)["run_id"] == "raw"

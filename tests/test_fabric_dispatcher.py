@@ -1,0 +1,154 @@
+"""Tests for the fabric dispatch queue: leases, stealing, idempotency."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.engine import (
+    expand_experiment,
+    run_experiment,
+    spec_from_jsonable,
+    spec_to_jsonable,
+)
+from repro.experiments.results import ResultsStore
+from repro.fabric import FabricQueue, dispatch_experiment
+
+_PARAMS = {"rounds": 5}
+
+
+def _queue_path(tmp_path) -> str:
+    return str(tmp_path / "fabric.sqlite")
+
+
+def _dispatch(tmp_path, **kwargs):
+    return dispatch_experiment(_queue_path(tmp_path), "confidence_sweep",
+                               params=_PARAMS, **kwargs)
+
+
+# ------------------------------------------------------------------ dispatch
+def test_dispatch_enqueues_every_cell_with_context(tmp_path):
+    report = _dispatch(tmp_path)
+    assert (report.cells, report.enqueued) == (9, 9)
+    assert report.already_queued == report.already_stored == 0
+    with FabricQueue(_queue_path(tmp_path)) as queue:
+        assert queue.counts() == {"pending": 9, "leased": 0, "done": 0}
+        context = queue.get_context("confidence_sweep")
+        assert context["params"] == {"rounds": 5}
+        assert context["backend"] is None
+
+
+def test_redispatch_is_idempotent(tmp_path):
+    _dispatch(tmp_path)
+    again = _dispatch(tmp_path)
+    assert again.enqueued == 0
+    assert again.already_queued == 9
+
+
+def test_dispatch_skips_cells_stored_in_resume_store(tmp_path):
+    store_path = str(tmp_path / "canonical.sqlite")
+    with ResultsStore(store_path) as store:
+        run_experiment("confidence_sweep", params=_PARAMS, store=store,
+                       max_new_runs=4)
+    with ResultsStore(store_path) as store:
+        report = _dispatch(tmp_path, resume_store=store)
+    assert report.already_stored == 4
+    assert report.enqueued == 5
+
+
+def test_queue_refuses_mismatched_schema_version(tmp_path):
+    path = _queue_path(tmp_path)
+    with FabricQueue(path) as queue:
+        queue._connection.execute(
+            "UPDATE meta SET value = '999' WHERE key = 'fabric_schema_version'")
+    with pytest.raises(ValueError, match="fabric_schema_version"):
+        FabricQueue(path)
+
+
+# ------------------------------------------------------------------- leasing
+def test_claim_hands_out_disjoint_batches_in_order(tmp_path):
+    _dispatch(tmp_path)
+    _, specs, hashes = expand_experiment("confidence_sweep", params=_PARAMS)
+    with FabricQueue(_queue_path(tmp_path)) as queue:
+        first = queue.claim("a", 4, lease_ttl=60.0)
+        second = queue.claim("b", 100, lease_ttl=60.0)
+        assert [cell.spec_hash for cell in first] == hashes[:4]
+        assert [cell.spec_hash for cell in second] == hashes[4:]
+        assert not any(cell.stolen for cell in first + second)
+        assert queue.claim("c", 1, lease_ttl=60.0) == []
+        # The claimed spec round-trips hash-exact through the queue.
+        assert first[0].spec == specs[0]
+        assert first[0].spec.content_hash() == hashes[0]
+
+
+def test_complete_marks_done_and_done_cells_stay_done(tmp_path):
+    _dispatch(tmp_path)
+    with FabricQueue(_queue_path(tmp_path)) as queue:
+        batch = queue.claim("a", 2, lease_ttl=60.0)
+        assert queue.complete("a", batch[0].spec_hash) is True
+        # Completing twice, or as the wrong owner, is a lost lease, not a crash.
+        assert queue.complete("a", batch[0].spec_hash) is False
+        assert queue.complete("z", batch[1].spec_hash) is False
+        counts = queue.counts()
+        assert counts["done"] == 1 and counts["leased"] == 1
+
+
+def test_expired_lease_is_stolen_and_attempts_recorded(tmp_path):
+    _dispatch(tmp_path)
+    with FabricQueue(_queue_path(tmp_path)) as queue:
+        batch = queue.claim("dead", 3, lease_ttl=10.0, now=1000.0)
+        # Before expiry nothing is claimable beyond the untouched cells.
+        assert queue.claimable(now=1005.0) == 6
+        stolen = queue.claim("live", 9, lease_ttl=10.0, now=1011.0)
+        assert len(stolen) == 9
+        assert sum(cell.stolen for cell in stolen) == 3
+        assert {cell.spec_hash for cell in stolen[:3]} == \
+            {cell.spec_hash for cell in batch}
+        # The dead worker can no longer complete its stolen cells.
+        assert queue.complete("dead", batch[0].spec_hash) is False
+        attempts = queue._connection.execute(
+            "SELECT spec_hash, attempts FROM cells").fetchall()
+        stolen_hashes = {cell.spec_hash for cell in batch}
+        for spec_hash, count in attempts:
+            assert count == (2 if spec_hash in stolen_hashes else 1)
+
+
+def test_heartbeat_extends_only_owned_live_leases(tmp_path):
+    _dispatch(tmp_path)
+    with FabricQueue(_queue_path(tmp_path)) as queue:
+        batch = queue.claim("a", 2, lease_ttl=10.0, now=1000.0)
+        hashes = [cell.spec_hash for cell in batch]
+        assert queue.heartbeat("a", hashes, lease_ttl=10.0, now=1008.0) == 2
+        # The extended lease survives past the original expiry: at t=1012
+        # only the 7 untouched cells are claimable, and claiming them steals
+        # nothing from the heartbeating owner.
+        assert queue.claimable(now=1012.0) == 7
+        grabbed = queue.claim("b", 9, lease_ttl=10.0, now=1012.0)
+        assert len(grabbed) == 7
+        assert not any(cell.stolen for cell in grabbed)
+        # A stranger's heartbeat extends nothing.
+        assert queue.heartbeat("z", hashes, lease_ttl=10.0, now=1012.0) == 0
+        assert queue.heartbeat("a", [], lease_ttl=10.0) == 0
+
+
+def test_release_returns_unfinished_cells_to_pending(tmp_path):
+    _dispatch(tmp_path)
+    with FabricQueue(_queue_path(tmp_path)) as queue:
+        batch = queue.claim("a", 3, lease_ttl=60.0)
+        queue.complete("a", batch[0].spec_hash)
+        assert queue.release("a") == 2
+        counts = queue.counts()
+        assert counts == {"pending": 8, "leased": 0, "done": 1}
+        # Released cells are immediately claimable by anyone.
+        assert len(queue.claim("b", 9, lease_ttl=60.0)) == 8
+
+
+# ------------------------------------------------------------ spec wire form
+def test_spec_jsonable_round_trip_is_hash_exact():
+    _, specs, hashes = expand_experiment("confidence_sweep", params=_PARAMS)
+    for spec, digest in zip(specs, hashes):
+        wire = json.loads(json.dumps(spec_to_jsonable(spec)))
+        rebuilt = spec_from_jsonable(wire)
+        assert rebuilt == spec
+        assert rebuilt.content_hash() == digest

@@ -1,0 +1,179 @@
+"""Tests for the read-only results service, its cache and the thin client."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.engine import run_experiment
+from repro.experiments.results import ResultsStore
+from repro.fabric import client
+from repro.fabric.service import ResultsService, make_server
+
+_EXPERIMENT = "confidence_sweep"
+_PARAMS = {"rounds": 5}
+_CONTEXT = json.dumps({"backend": None, "base_seed": None, "axes": {},
+                       "params": _PARAMS}, sort_keys=True)
+
+
+@pytest.fixture()
+def store_path(tmp_path) -> str:
+    """A canonical store with one completed run and its fabric context."""
+    path = str(tmp_path / "canonical.sqlite")
+    with ResultsStore(path) as store:
+        run_experiment(_EXPERIMENT, params=_PARAMS, store=store)
+        store.set_meta(f"context:{_EXPERIMENT}", _CONTEXT)
+    return path
+
+
+@pytest.fixture(scope="module")
+def golden_report() -> str:
+    return run_experiment(_EXPERIMENT, params=_PARAMS).format_report()
+
+
+# ------------------------------------------------------- handle() (no HTTP)
+def test_index_lists_experiments_with_counts(store_path):
+    service = ResultsService(store_path)
+    status, headers, body = service.handle("/experiments")
+    assert status == 200
+    assert headers["X-Cache"] == "MISS"
+    payload = json.loads(body)
+    assert payload["experiments"] == [{
+        "name": _EXPERIMENT, "cells": 9, "rows": 9,
+        "report": f"/experiments/{_EXPERIMENT}/report", "has_context": True,
+    }]
+
+
+def test_report_uses_stored_context_and_caches(store_path, golden_report):
+    service = ResultsService(store_path)
+    path = f"/experiments/{_EXPERIMENT}/report"
+    status, headers, body = service.handle(path)
+    assert status == 200
+    assert body.decode("utf-8") == golden_report
+    assert headers["X-Cache"] == "MISS"
+    # Second request: served from the LRU, not recomputed.
+    status, headers2, body2 = service.handle(path)
+    assert (status, body2) == (200, body)
+    assert headers2["X-Cache"] == "HIT"
+    assert headers2["ETag"] == headers["ETag"]
+    # ETag revalidation: matching If-None-Match yields an empty 304.
+    status, headers3, body3 = service.handle(path, if_none_match=headers["ETag"])
+    assert (status, body3) == (304, b"")
+    assert headers3["X-Cache"] == "HIT"
+
+
+def test_cache_invalidates_when_the_store_changes(store_path, golden_report):
+    service = ResultsService(store_path)
+    path = f"/experiments/{_EXPERIMENT}/rows"
+    _, headers, body = service.handle(path)
+    assert headers["X-Cache"] == "MISS"
+    assert len(json.loads(body)) == 9
+    # Append a foreign cell: the store generation moves, the cache misses.
+    from repro.experiments.engine import ExperimentSpec
+
+    with ResultsStore(store_path) as store:
+        extra = ExperimentSpec(experiment="other", cell_id="x", run_id="other/x",
+                               seed=1, backend="oracle", params=())
+        store.record(extra, [{"run_id": "other/x"}])
+    _, headers2, _ = service.handle(path)
+    assert headers2["X-Cache"] == "MISS"
+    assert headers2["ETag"] == headers["ETag"]  # same rows, same content hash
+
+
+def test_unknown_paths_and_experiments_are_404(store_path):
+    service = ResultsService(store_path)
+    assert service.handle("/nope")[0] == 404
+    status, _, body = service.handle("/experiments/no_such/report")
+    assert status == 404
+    assert "no stored cells" in json.loads(body)["error"]
+
+
+def test_missing_store_file_is_503(tmp_path):
+    service = ResultsService(str(tmp_path / "absent.sqlite"))
+    assert service.handle("/experiments")[0] == 503
+
+
+def test_lru_evicts_oldest_entries(store_path):
+    service = ResultsService(store_path, cache_size=1)
+    first = "/experiments"
+    second = f"/experiments/{_EXPERIMENT}/rows"
+    assert service.handle(first)[1]["X-Cache"] == "MISS"
+    assert service.handle(second)[1]["X-Cache"] == "MISS"
+    assert service.handle(second)[1]["X-Cache"] == "HIT"
+    assert service.handle(first)[1]["X-Cache"] == "MISS"  # evicted
+
+
+def test_report_without_context_falls_back_to_generic_table(tmp_path):
+    path = str(tmp_path / "bare.sqlite")
+    with ResultsStore(path) as store:
+        run_experiment(_EXPERIMENT, params=_PARAMS, store=store)
+    status, _, body = ResultsService(path).handle(
+        f"/experiments/{_EXPERIMENT}/report")
+    assert status == 200
+    assert body.decode("utf-8").startswith(f"Stored rows — {_EXPERIMENT}")
+
+
+# ----------------------------------------------------------- HTTP + client
+@pytest.fixture()
+def served(store_path):
+    server, service = make_server(store_path)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_client_round_trip_with_etag_revalidation(served, golden_report):
+    experiments = client.fetch_experiments(served)
+    assert [e["name"] for e in experiments] == [_EXPERIMENT]
+    first = client.fetch_report(served, _EXPERIMENT)
+    assert first.status == 200
+    assert first.text() == golden_report
+    second = client.fetch_report(served, _EXPERIMENT)
+    assert second.cache == "HIT"
+    revalidated = client.fetch_report(served, _EXPERIMENT, etag=first.etag)
+    assert revalidated.not_modified
+    assert revalidated.body == b""
+    rows = client.fetch_rows(served, _EXPERIMENT)
+    assert len(rows) == 9
+    with pytest.raises(RuntimeError, match="no stored cells"):
+        client.fetch_rows(served, "no_such")
+
+
+def test_cli_report_url_matches_local_report(served, tmp_path, capsys):
+    via_url = tmp_path / "url.txt"
+    via_run = tmp_path / "run.txt"
+    assert experiments_main(["report", "--url", served,
+                             "--experiment", _EXPERIMENT,
+                             "--output", str(via_url)]) == 0
+    assert experiments_main(["run", _EXPERIMENT, "--param", "rounds=5",
+                             "--output", str(via_run)]) == 0
+    assert via_url.read_bytes() == via_run.read_bytes()
+    capsys.readouterr()
+
+
+def test_cli_report_url_without_experiment_tabulates_index(served, capsys):
+    assert experiments_main(["report", "--url", served]) == 0
+    out = capsys.readouterr().out
+    assert "Served experiments" in out
+    assert _EXPERIMENT in out
+
+
+def test_cli_report_url_connection_error_is_clean(capsys):
+    assert experiments_main(["report", "--url", "http://127.0.0.1:9",
+                             "--experiment", _EXPERIMENT]) == 1
+    assert "cannot fetch report" in capsys.readouterr().err
+
+
+def test_cli_report_requires_exactly_one_source(capsys):
+    with pytest.raises(SystemExit):
+        experiments_main(["report"])
+    with pytest.raises(SystemExit):
+        experiments_main(["report", "--db", "x", "--url", "http://x"])
+    capsys.readouterr()
