@@ -1,10 +1,27 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that the package can also be installed in environments without the
-``wheel`` package (legacy editable installs fall back to ``setup.py develop``).
+Kept as an executable ``setup.py`` (rather than declarative metadata only)
+so the package installs in minimal environments without the ``wheel``
+package (legacy editable installs fall back to ``setup.py develop``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-manet-trust",
+    version="0.8.0",
+    description=(
+        "Reproduction of an OLSR link-spoofing detection paper: discrete-"
+        "event MANET simulator, RFC 3626 OLSR, trust-based detection"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        # The netsim batch-delivery path, vectorised MPR selection and the
+        # vectorised trust updates use numpy; every import site keeps a
+        # pure-Python fallback (repro.numerics.numpy_or_none), so the
+        # simulator still runs — scalar and slower — without it.
+        "numpy",
+    ],
+)

@@ -27,7 +27,7 @@ from repro.core.decision import (
     evaluate_investigation,
 )
 from repro.seeding import stable_seed
-from repro.trust.evidence import EvidenceKind, TrustEvidence
+from repro.trust.evidence import EvidenceBatch, EvidenceKind, TrustEvidence
 from repro.trust.manager import TrustManager
 from repro.trust.recommendation import RecommendationManager
 
@@ -344,7 +344,7 @@ class CooperativeInvestigator:
     def _update_trust_from_round(self, state: InvestigationState,
                                  result: RoundResult, now: float) -> None:
         detect = result.decision.detect_value
-        evidences_by_subject: Dict[str, List[TrustEvidence]] = {}
+        batch = EvidenceBatch()
 
         # Evidence about the responders: an answer consistent with the round's
         # conclusion is beneficial, a contradicting answer is harmful
@@ -366,7 +366,7 @@ class CooperativeInvestigator:
                     else EvidenceKind.INVESTIGATION_DISAGREEMENT
                 )
                 value = 1.0 if agreed else -1.0
-                evidences_by_subject.setdefault(responder, []).append(
+                batch.add(
                     TrustEvidence(
                         observer=self.owner,
                         subject=responder,
@@ -384,7 +384,7 @@ class CooperativeInvestigator:
         # (positive).
         if abs(detect) > 1e-9:
             kind = EvidenceKind.LINK_SPOOFING if detect < 0 else EvidenceKind.CONSISTENT_ADVERTISEMENT
-            evidences_by_subject.setdefault(state.suspect, []).append(
+            batch.add(
                 TrustEvidence(
                     observer=self.owner,
                     subject=state.suspect,
@@ -396,7 +396,9 @@ class CooperativeInvestigator:
                 )
             )
 
-        self.trust.update_all(evidences_by_subject, now=now)
+        # One update_all call for the whole slot: wide batches take the
+        # manager's vectorised Eq. 5 path.
+        self.trust.update_all(batch.by_subject(), now=now)
 
     def _update_agreement_sets(self, state: InvestigationState, result: RoundResult) -> None:
         for responder, answer in result.answers.items():

@@ -89,6 +89,12 @@ def build_run_parser() -> argparse.ArgumentParser:
                         help="execute at most K missing cells this invocation")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--profile", nargs="?", const="-", default=None,
+                        metavar="FILE", dest="cprofile",
+                        help="run under cProfile: dump pstats data to FILE, "
+                             "or print the top functions by cumulative time "
+                             "to stderr when FILE is omitted (place the flag "
+                             "after the experiment name)")
     return parser
 
 
@@ -197,6 +203,12 @@ def run_main(argv: Sequence[str]) -> int:
         store = open_store(args.db)
         if store is None:
             return 1
+    profiler = None
+    if args.cprofile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         result = run_experiment(
             args.experiment,
@@ -227,9 +239,25 @@ def run_main(argv: Sequence[str]) -> int:
                   "discarded", file=sys.stderr)
         return 130
     finally:
+        if profiler is not None:
+            profiler.disable()
+            _emit_profile(profiler, args.cprofile)
         if store is not None:
             store.close()
     return emit_report(report, args.output)
+
+
+def _emit_profile(profiler, destination: str) -> None:
+    """Write collected cProfile data: pstats dump or stderr summary."""
+    import pstats
+
+    if destination == "-":
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        profiler.dump_stats(destination)
+        print(f"[profile] pstats data written to {destination} "
+              f"(inspect with python -m pstats)", file=sys.stderr)
 
 
 def _report_from_url(args, parser) -> int:
@@ -328,6 +356,11 @@ def build_validate_parser() -> argparse.ArgumentParser:
                         help="fuzz the routing backend as an extra axis "
                              "(e.g. olsr,aodv,geo); non-OLSR samples are "
                              "invariant-checked only")
+    parser.add_argument("--medium", choices=("batch", "scalar", "both"),
+                        default="batch",
+                        help="wireless-medium delivery path to audit: the "
+                             "batched broadcast fast path (default), the "
+                             "per-receiver scalar path, or both per sample")
     parser.add_argument("--no-minimize", action="store_true",
                         help="report raw failing scenarios without shrinking them")
     parser.add_argument("--output", type=str, default=None,
@@ -371,6 +404,7 @@ def validate_main(argv: Sequence[str]) -> int:
         profiles=profiles,
         minimize=not args.no_minimize,
         protocols=protocols,
+        medium=args.medium,
     )
     emit_report(report.format_report(), args.output)
     return 0 if report.ok else 1

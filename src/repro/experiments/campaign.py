@@ -390,7 +390,9 @@ def execute_spec(spec: CampaignSpec) -> CampaignRunResult:
         detection_cycles=len(attacker_rounds),
         frames_sent=network.medium.stats.frames_sent,
         frames_delivered=network.medium.stats.frames_delivered,
-        events_processed=network.simulator.processed_events,
+        # Scalar-equivalent count: batching elides per-receiver events.
+        events_processed=(network.simulator.processed_events
+                          + network.medium.batched_deliveries_saved),
     )
 
     if spec.system != "detector":

@@ -109,9 +109,11 @@ def make_record(
     """
     converted: Dict[str, str] = {}
     for key, value in fields.items():
-        if value is None:
+        if type(value) is str:  # fast path: the overwhelmingly common case
+            converted[key] = value
+        elif value is None:
             continue
-        if isinstance(value, (list, tuple, set, frozenset)):
+        elif isinstance(value, (list, tuple, set, frozenset)):
             converted[key] = ",".join(str(v) for v in sorted(value, key=str))
         elif isinstance(value, float):
             converted[key] = f"{value:.6f}"

@@ -9,6 +9,7 @@ models can move nodes) and the set of attached interfaces.  Protocol nodes
 from __future__ import annotations
 
 import random
+import sys
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.netsim.engine import Simulator
@@ -190,6 +191,10 @@ class Network:
     # ------------------------------------------------------------- node mgmt
     def create_interface(self, node_id: str, position: Optional[Position] = None) -> NetworkInterface:
         """Register a new node id and return its medium-facing interface."""
+        # Intern the address: every frame, HELLO link advertisement and trust
+        # record carries node-id strings, so a single shared copy per node
+        # keeps the per-frame footprint flat at 1,024-node scale.
+        node_id = sys.intern(node_id)
         if node_id in self.interfaces:
             raise ValueError(f"node {node_id!r} already exists")
         interface = NetworkInterface(node_id, self)

@@ -3,21 +3,32 @@
 A :class:`Frame` carries an opaque ``payload`` (for OLSR this is an
 :class:`repro.olsr.packet.OlsrPacket`).  Frames are addressed either to the
 link-layer broadcast address or to a specific node identifier.
+
+Frame ids
+---------
+Every frame gets a monotonically increasing ``frame_id`` so traces and the
+collision model's busy windows can tell transmissions apart.  Ids are
+allocated lazily: :meth:`repro.netsim.medium.WirelessMedium.transmit` stamps
+each frame from the *medium's own* counter, so two networks running in one
+process (the differential validation harness runs oracle and netsim side by
+side) never interleave their id streams.  A frame whose id is read before it
+ever touches a medium (unit tests, reprs) falls back to a module-level pool.
+Nothing derives hashes or seeds from frame ids — they are trace labels only —
+so no ``stable_seed`` derivation is needed for them.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Link-layer broadcast destination; every node within radio range receives it.
 BROADCAST_ADDRESS = "ff:ff"
 
+#: Fallback id pool for frames inspected before any medium stamped them.
 _frame_ids = itertools.count(1)
 
 
-@dataclass
 class Frame:
     """A link-layer transmission unit.
 
@@ -33,7 +44,8 @@ class Frame:
         Nominal on-air size used by statistics and (optionally) collision
         windows.
     frame_id:
-        Monotonically increasing identifier assigned at creation.
+        Monotonically increasing identifier, stamped by the transmitting
+        medium (or lazily from a module pool when read before transmission).
     created_at:
         Simulated time at which the frame was handed to the medium (filled in
         by the medium).
@@ -42,13 +54,37 @@ class Frame:
         markers, wormhole tunnel ids).
     """
 
-    source: str
-    destination: str
-    payload: Any
-    size_bytes: int = 64
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
-    created_at: Optional[float] = None
-    metadata: dict = field(default_factory=dict)
+    __slots__ = ("source", "destination", "payload", "size_bytes",
+                 "_frame_id", "created_at", "metadata")
+
+    def __init__(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        size_bytes: int = 64,
+        frame_id: Optional[int] = None,
+        created_at: Optional[float] = None,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        self.source = source
+        self.destination = destination
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self._frame_id = frame_id
+        self.created_at = created_at
+        self.metadata = {} if metadata is None else metadata
+
+    @property
+    def frame_id(self) -> int:
+        """The frame's id, drawn from the fallback pool on first access."""
+        if self._frame_id is None:
+            self._frame_id = next(_frame_ids)
+        return self._frame_id
+
+    @frame_id.setter
+    def frame_id(self, value: int) -> None:
+        self._frame_id = value
 
     @property
     def is_broadcast(self) -> bool:
@@ -59,7 +95,8 @@ class Frame:
         """Return a copy of the frame re-addressed to ``destination``.
 
         The payload object is shared (frames are treated as immutable once
-        transmitted); a new ``frame_id`` is assigned so traces can tell the
+        transmitted); the copy carries no id yet, so the next medium (or the
+        fallback pool) assigns a fresh ``frame_id`` and traces can tell the
         copies apart.
         """
         return Frame(

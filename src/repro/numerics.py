@@ -1,0 +1,26 @@
+"""Optional numpy access shared by the vectorised fast paths.
+
+The batch-tick code (medium delivery, MPR selection, trust updates) runs on
+numpy arrays when numpy is importable and transparently falls back to the
+scalar implementations when it is not.  Centralising the lazy import here
+keeps every call site to a single, cheap function call and gives tests one
+place to monkeypatch when they need to force the pure-Python paths.
+"""
+
+from __future__ import annotations
+
+_numpy = None
+_checked = False
+
+
+def numpy_or_none():
+    """The imported ``numpy`` module, or ``None`` when unavailable."""
+    global _numpy, _checked
+    if not _checked:
+        _checked = True
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised via monkeypatch
+            numpy = None
+        _numpy = numpy
+    return _numpy

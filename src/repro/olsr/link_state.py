@@ -81,6 +81,15 @@ class LinkSet:
         """Addresses with a currently symmetric link."""
         return {a for a, l in self._links.items() if l.is_symmetric(now)}
 
+    def is_symmetric_with(self, neighbor_address: str, now: float) -> bool:
+        """O(1) membership test equivalent to ``address in symmetric_neighbors(now)``.
+
+        Hot-path helper: received-message validation only needs the last
+        hop's status, not the whole symmetric set.
+        """
+        link = self._links.get(neighbor_address)
+        return link is not None and link.is_symmetric(now)
+
     def asymmetric_neighbors(self, now: float) -> Set[str]:
         """Addresses heard but not symmetric."""
         return {a for a, l in self._links.items() if l.is_asymmetric(now)}
@@ -107,10 +116,21 @@ class NeighborTuple:
 
 
 class NeighborSet:
-    """Collection of :class:`NeighborTuple` keyed by address."""
+    """Collection of :class:`NeighborTuple` keyed by address.
+
+    ``version`` counts every mutation that can change what the MPR selector
+    or the routing computation would see (membership, plus in-place
+    symmetric/willingness edits signalled through :meth:`touch`); the node
+    uses it to skip recomputations whose inputs did not change.
+    """
 
     def __init__(self) -> None:
         self._neighbors: Dict[str, NeighborTuple] = {}
+        self.version = 0
+
+    def touch(self) -> None:
+        """Signal an in-place edit of a stored tuple (symmetric/willingness)."""
+        self.version += 1
 
     def get(self, address: str) -> Optional[NeighborTuple]:
         """Neighbour tuple for ``address`` (None when absent)."""
@@ -119,11 +139,13 @@ class NeighborSet:
     def upsert(self, neighbor: NeighborTuple) -> NeighborTuple:
         """Insert or replace the tuple for ``neighbor.neighbor_address``."""
         self._neighbors[neighbor.neighbor_address] = neighbor
+        self.version += 1
         return neighbor
 
     def remove(self, address: str) -> None:
         """Remove the tuple for ``address`` if present."""
-        self._neighbors.pop(address, None)
+        if self._neighbors.pop(address, None) is not None:
+            self.version += 1
 
     def symmetric_neighbors(self) -> Set[str]:
         """Addresses of neighbours with symmetric status."""
@@ -168,14 +190,41 @@ class TwoHopTuple:
 
 
 class TwoHopNeighborSet:
-    """Collection of :class:`TwoHopTuple`."""
+    """Collection of :class:`TwoHopTuple`.
+
+    ``version`` counts *structural* changes only — key insertions and
+    removals.  Refreshing an existing tuple's expiry does not change
+    :meth:`coverage_map` or any other key-derived query, so it leaves the
+    version alone; that is what lets the node skip MPR/route recomputations
+    on steady-state HELLO refreshes.
+    """
 
     def __init__(self) -> None:
         self._tuples: Dict[TwoHopKey, TwoHopTuple] = {}
+        self.version = 0
+        self._sorted_pairs: Optional[Tuple[int, List[Tuple[str, str]]]] = None
+
+    def sorted_pairs(self) -> List[Tuple[str, str]]:
+        """``(two_hop_address, neighbor_address)`` pairs in sorted order.
+
+        The traversal order of the routing calculation's 2-hop pass, cached
+        on ``version``: expiry refreshes keep the key set — and therefore
+        this list — unchanged.
+        """
+        cached = self._sorted_pairs
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        pairs = sorted(
+            (t.two_hop_address, t.neighbor_address) for t in self._tuples.values()
+        )
+        self._sorted_pairs = (self.version, pairs)
+        return pairs
 
     def upsert(self, record: TwoHopTuple) -> TwoHopTuple:
         """Insert or refresh a 2-hop tuple."""
         key = TwoHopKey(record.neighbor_address, record.two_hop_address)
+        if key not in self._tuples:
+            self.version += 1
         self._tuples[key] = record
         return record
 
@@ -184,16 +233,21 @@ class TwoHopNeighborSet:
         stale = [k for k in self._tuples if k.neighbor_address == neighbor_address]
         for key in stale:
             del self._tuples[key]
+        if stale:
+            self.version += 1
 
     def remove(self, neighbor_address: str, two_hop_address: str) -> None:
         """Drop one (neighbour, 2-hop) tuple if present."""
-        self._tuples.pop(TwoHopKey(neighbor_address, two_hop_address), None)
+        if self._tuples.pop(TwoHopKey(neighbor_address, two_hop_address), None) is not None:
+            self.version += 1
 
     def purge_expired(self, now: float) -> List[TwoHopTuple]:
         """Drop expired tuples; returns the removed ones."""
         expired = [t for t in self._tuples.values() if t.is_expired(now)]
         for record in expired:
             del self._tuples[TwoHopKey(record.neighbor_address, record.two_hop_address)]
+        if expired:
+            self.version += 1
         return expired
 
     def two_hop_addresses(self) -> Set[str]:

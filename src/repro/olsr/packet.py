@@ -16,7 +16,7 @@ from repro.olsr.messages import OlsrMessage
 _packet_seq = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class OlsrPacket:
     """A packet containing OLSR messages."""
 

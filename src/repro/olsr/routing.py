@@ -107,36 +107,56 @@ def compute_routing_table(
             continue
         routes[address] = RouteEntry(destination=address, next_hop=address, distance=1)
 
-    # Step 2: 2-hop neighbours (through a symmetric neighbour).
-    for record in sorted(two_hop_set, key=lambda t: (t.two_hop_address, t.neighbor_address)):
-        dest = record.two_hop_address
-        via = record.neighbor_address
+    # Step 2: 2-hop neighbours (through a symmetric neighbour).  The cached
+    # sorted view walks the exact order of the former per-call
+    # ``sorted(two_hop_set, key=(two_hop, neighbor))`` scan.
+    if hasattr(two_hop_set, "sorted_pairs"):
+        two_hop_pairs = two_hop_set.sorted_pairs()
+    else:  # pragma: no cover - duck-typed stand-ins in tests
+        two_hop_pairs = sorted(
+            (t.two_hop_address, t.neighbor_address) for t in two_hop_set
+        )
+    for dest, via in two_hop_pairs:
         if dest == local_address or dest in routes:
             continue
         if via not in routes:
             continue
         routes[dest] = RouteEntry(destination=dest, next_hop=via, distance=2)
 
-    # Step 3: iterative extension through TC edges.
+    # Step 3: iterative extension through TC edges.  ``routing_view`` groups
+    # the (destination, last) scan order by destination, so each ring visits
+    # a destination once and stops at its first advertiser in the frontier —
+    # the same edge the former flat scan would have selected.
+    if hasattr(topology_set, "routing_view"):
+        topology_view = topology_set.routing_view()
+    else:  # pragma: no cover - duck-typed stand-ins in tests
+        topology_view = []
+        for dest, last in sorted(
+            (t.destination_address, t.last_address) for t in topology_set
+        ):
+            if topology_view and topology_view[-1][0] == dest:
+                topology_view[-1][1].append(last)
+            else:
+                topology_view.append((dest, [last]))
     distance = 2
     while True:
         added_any = False
         frontier = {d for d, entry in routes.items() if entry.distance == distance}
         if not frontier:
             break
-        for record in sorted(topology_set, key=lambda t: (t.destination_address, t.last_address)):
-            dest = record.destination_address
-            last = record.last_address
+        for dest, lasts in topology_view:
             if dest == local_address or dest in routes:
                 continue
-            if last in frontier:
-                via_entry = routes[last]
-                routes[dest] = RouteEntry(
-                    destination=dest,
-                    next_hop=via_entry.next_hop,
-                    distance=distance + 1,
-                )
-                added_any = True
+            for last in lasts:
+                if last in frontier:
+                    via_entry = routes[last]
+                    routes[dest] = RouteEntry(
+                        destination=dest,
+                        next_hop=via_entry.next_hop,
+                        distance=distance + 1,
+                    )
+                    added_any = True
+                    break
         if not added_any:
             break
         distance += 1

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
 @dataclass
@@ -21,11 +21,26 @@ class TopologyTuple:
 
 
 class TopologySet:
-    """Collection of :class:`TopologyTuple` keyed by (destination, last hop)."""
+    """Collection of :class:`TopologyTuple` keyed by (destination, last hop).
+
+    ``version`` counts structural (key set) changes only: the routing
+    computation reads nothing but the keys, so ANSN/expiry refreshes of
+    existing edges leave it untouched and the node can skip route
+    recomputations whose inputs did not change.
+    """
 
     def __init__(self) -> None:
         self._tuples: Dict[Tuple[str, str], TopologyTuple] = {}
         self._latest_ansn: Dict[str, int] = {}
+        self.version = 0
+        # Secondary index: originator -> its keys (insertion-ordered).  TC
+        # processing and originator removal would otherwise scan the whole
+        # tuple table per message, which dominates at 1,024-node scale.
+        self._keys_by_originator: Dict[str, Dict[Tuple[str, str], None]] = {}
+        # Routing-view cache, invalidated by ``version`` (key-set changes):
+        # destinations in sorted order, each with its advertisers sorted.
+        self._routing_view: Optional[
+            Tuple[int, List[Tuple[str, Sequence[str]]]]] = None
 
     # ---------------------------------------------------------------- update
     def process_tc(
@@ -48,14 +63,15 @@ class TopologySet:
         self._latest_ansn[originator] = ansn
 
         changed = False
-        # Remove tuples from this originator with an older ANSN.
+        # Remove tuples from this originator with an older ANSN (via the
+        # per-originator index: only this originator's keys are scanned).
+        own_keys = self._keys_by_originator.get(originator, {})
         stale = [
-            key
-            for key, record in self._tuples.items()
-            if record.last_address == originator and _ansn_older(record.ansn, ansn)
+            key for key in own_keys
+            if _ansn_older(self._tuples[key].ansn, ansn)
         ]
         for key in stale:
-            del self._tuples[key]
+            self._discard(key)
             changed = True
 
         for destination in advertised:
@@ -63,26 +79,64 @@ class TopologySet:
             existing = self._tuples.get(key)
             if existing is None:
                 changed = True
+                self._keys_by_originator.setdefault(originator, {})[key] = None
             self._tuples[key] = TopologyTuple(
                 destination_address=destination,
                 last_address=originator,
                 ansn=ansn,
                 expiry_time=now + hold_time,
             )
+        if changed:
+            self.version += 1
         return changed
+
+    def _discard(self, key: Tuple[str, str]) -> None:
+        """Remove one tuple and its index entry (key must be present)."""
+        del self._tuples[key]
+        originator_keys = self._keys_by_originator.get(key[1])
+        if originator_keys is not None:
+            originator_keys.pop(key, None)
+            if not originator_keys:
+                del self._keys_by_originator[key[1]]
 
     def remove_for_originator(self, originator: str) -> None:
         """Drop every edge advertised by ``originator``."""
-        stale = [key for key, rec in self._tuples.items() if rec.last_address == originator]
+        stale = list(self._keys_by_originator.get(originator, ()))
         for key in stale:
-            del self._tuples[key]
+            self._discard(key)
+        if stale:
+            self.version += 1
 
     def purge_expired(self, now: float) -> List[TopologyTuple]:
         """Drop expired tuples; returns the removed ones."""
         expired = [t for t in self._tuples.values() if t.is_expired(now)]
         for record in expired:
-            del self._tuples[(record.destination_address, record.last_address)]
+            self._discard((record.destination_address, record.last_address))
+        if expired:
+            self.version += 1
         return expired
+
+    # ---------------------------------------------------------- routing view
+    def routing_view(self) -> List[Tuple[str, Sequence[str]]]:
+        """Destinations with their advertisers, both in sorted order.
+
+        This is exactly the traversal order of a ``sorted(topology_set,
+        key=(destination, last))`` scan, pre-grouped by destination so the
+        routing calculation can skip already-routed destinations wholesale.
+        Cached on ``version``: ANSN/expiry refreshes keep the key set — and
+        therefore this view — unchanged.
+        """
+        cached = self._routing_view
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        view: List[Tuple[str, List[str]]] = []
+        for destination, last in sorted(self._tuples):
+            if view and view[-1][0] == destination:
+                view[-1][1].append(last)
+            else:
+                view.append((destination, [last]))
+        self._routing_view = (self.version, view)
+        return view
 
     # --------------------------------------------------------------- queries
     def edges(self) -> List[Tuple[str, str]]:

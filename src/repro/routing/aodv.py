@@ -55,7 +55,7 @@ class AodvConfig:
 
 
 # ------------------------------------------------------------------ messages
-@dataclass
+@dataclass(slots=True)
 class AodvHello:
     """1-hop beacon used for neighbour sensing (RFC 3561 §6.9)."""
 
@@ -67,7 +67,7 @@ class AodvHello:
         return 24
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteRequest:
     """RREQ flooded toward an unknown destination (RFC 3561 §6.3)."""
 
@@ -84,7 +84,7 @@ class RouteRequest:
         return 24
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteReply:
     """RREP unicast back along the reverse route (RFC 3561 §6.6)."""
 
@@ -99,7 +99,7 @@ class RouteReply:
         return 20
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteError:
     """RERR listing destinations that became unreachable (RFC 3561 §6.11)."""
 

@@ -37,7 +37,7 @@ from repro.netsim.stats import NodeStatistics
 from repro.seeding import stable_digest
 
 
-@dataclass
+@dataclass(slots=True)
 class DataPacket:
     """Minimal data-plane payload routed hop-by-hop over protocol routes."""
 
@@ -48,7 +48,7 @@ class DataPacket:
     hops: List[str] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardProbe:
     """Stand-in handed to ``forward_filters`` on the data path.
 

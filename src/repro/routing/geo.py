@@ -44,7 +44,7 @@ class GeoConfig:
         return self.beacon_interval * self.allowed_beacon_loss + self.emission_jitter
 
 
-@dataclass
+@dataclass(slots=True)
 class GeoBeacon:
     """1-hop position announcement."""
 

@@ -12,7 +12,7 @@
 * :mod:`repro.trust.recommendation` — recommendation-trust bookkeeping.
 """
 
-from repro.trust.evidence import EvidenceKind, TrustEvidence
+from repro.trust.evidence import EvidenceBatch, EvidenceKind, TrustEvidence
 from repro.trust.entropy import (
     binary_entropy,
     entropy_trust_from_probability,
@@ -20,6 +20,7 @@ from repro.trust.entropy import (
 )
 from repro.trust.manager import TrustManager, TrustParameters, TrustRecord
 from repro.trust.propagation import (
+    batch_multipath_trust,
     concatenated_trust,
     multipath_trust,
     normalised_weights,
@@ -35,7 +36,9 @@ from repro.trust.recommendation import RecommendationManager
 
 __all__ = [
     "ConfidenceInterval",
+    "EvidenceBatch",
     "EvidenceKind",
+    "batch_multipath_trust",
     "RecommendationManager",
     "TrustEvidence",
     "TrustManager",

@@ -179,3 +179,29 @@ def test_cli_report_empty_store_exits_nonzero(tmp_path, capsys):
     assert "holds no completed cells" in capsys.readouterr().err
     assert main(["report", "--db", db, "--experiment", "confidence_sweep"]) == 1
     capsys.readouterr()
+
+
+def test_cli_run_profile_dumps_pstats_file(tmp_path, capsys):
+    import pstats
+
+    stats_file = tmp_path / "run.pstats"
+    assert main(["run", "figure3", "--param", "rounds=3",
+                 "--profile", str(stats_file)]) == 0
+    err = capsys.readouterr().err
+    assert "pstats data written" in err
+    stats = pstats.Stats(str(stats_file))
+    assert stats.total_calls > 0
+
+
+def test_cli_run_profile_without_file_prints_summary(capsys, tmp_path):
+    out = tmp_path / "report.txt"
+    assert main(["run", "figure3", "--param", "rounds=3",
+                 "--profile", "--output", str(out)]) == 0
+    err = capsys.readouterr().err
+    assert "cumulative" in err  # pstats table header on stderr
+
+
+def test_cli_validate_medium_both_audits_each_path(capsys):
+    assert main(["validate", "--seeds", "1", "--medium", "both"]) == 0
+    output = capsys.readouterr().out
+    assert "invariant-checked:     2" in output
