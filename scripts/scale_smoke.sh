@@ -28,3 +28,14 @@ python -m repro.experiments run "${cell[@]}" \
 echo "== diff batch vs scalar report"
 diff "$workdir/batch.txt" "$workdir/scalar.txt"
 echo "scale smoke: OK (batch report byte-identical to the scalar path)"
+
+# Machine-readable perf trajectory: engine events/sec (timer wheel vs the
+# retained heap reference), mobility tick throughput, and — unless
+# REPRO_SMOKE_SKIP_CELL=1 — one 256-node campaign cell wall-clock.  CI
+# uploads the JSON so PRs can be diffed against each other numerically.
+echo "== engine perf snapshot (BENCH_engine.json)"
+if [[ "${REPRO_SMOKE_SKIP_CELL:-0}" == "1" ]]; then
+    python scripts/bench_report.py --skip-cell --output BENCH_engine.json
+else
+    python scripts/bench_report.py --output BENCH_engine.json
+fi

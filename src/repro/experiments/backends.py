@@ -255,5 +255,9 @@ def drive_netsim_scenario(scenario, config: ScenarioConfig,
         # logical work on both medium paths (rows stay byte-identical).
         "events_processed": (network.simulator.processed_events
                              + network.medium.batched_deliveries_saved),
+        # Scheduler counters (pushes/pops/cancelled_skipped/wheel_hits/
+        # compactions).  ``stats`` is never serialised into campaign rows,
+        # so surfacing them here cannot perturb report byte-identity.
+        "engine": network.engine_counters(),
     }
     return result

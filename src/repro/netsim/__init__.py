@@ -44,9 +44,29 @@ Downstream, the OLSR node amortises its RFC recomputations the same way:
 MPR selection and the routing table are version-gated on the link-state
 repositories and refreshed per detection cycle (or lazily on read), not
 per received message.
+
+Scheduler core
+--------------
+Under the pipeline sits a two-tier event scheduler
+(:class:`~repro.netsim.engine.Simulator`): a timer wheel of per-slot
+min-heaps absorbs the near-future events that dominate protocol traffic
+(HELLO/TC jitter, delivery delays, retry timers land O(1) in their slot),
+while an overflow heap holds everything beyond the wheel horizon and
+migrates forward as the wheel turns.  Execution order is exactly the
+``(time, sequence)`` FIFO of the PR 8 heap engine — kept as
+:class:`~repro.netsim.engine.HeapSimulator` and pinned trace-identical by
+``tests/test_netsim_engine_parity.py`` — so the swap changes wall-clock,
+never results.  Event records are ``__slots__``-pooled, cancellations are
+skipped lazily and compacted when the dead backlog grows, and the
+engine's ``counters()`` (pushes, pops, cancelled skips, wheel hits,
+compactions) surface through ``Network.engine_counters()`` into
+experiment run stats.  Mobility ticks ride the same event spine: one
+periodic engine event advances the whole population, vectorised over
+numpy arrays for the draw-bound models (see
+:mod:`repro.netsim.mobility`).
 """
 
-from repro.netsim.engine import Event, EventHandle, Simulator
+from repro.netsim.engine import Event, EventHandle, HeapSimulator, Simulator
 from repro.netsim.medium import (
     AsymmetricRangePropagation,
     BernoulliLossModel,
@@ -82,6 +102,7 @@ __all__ = [
     "EventHandle",
     "Frame",
     "GridPlacement",
+    "HeapSimulator",
     "MediumStatistics",
     "MobilityModel",
     "Network",

@@ -540,10 +540,13 @@ class WirelessMedium:
                 # decision was made with — mobility may move either endpoint
                 # before the delivery event fires.
                 tx_info = (sender_pos, receiver_pos, self._safe_range_of(frame.source))
-            handle = self._simulator.schedule(delay, self._deliver, receiver_id,
-                                              frame, entry, tx_info)
             if entry is not None:
-                entry.handle = handle
+                entry.handle = self._simulator.schedule(
+                    delay, self._deliver, receiver_id, frame, entry, tx_info)
+            else:
+                # No collision entry to cancel later: skip handle creation.
+                self._simulator.post(delay, self._deliver, receiver_id,
+                                     frame, None, tx_info)
 
     # ------------------------------------------------------- batched delivery
     def _loss_rng_independent(self) -> bool:
@@ -669,8 +672,8 @@ class WirelessMedium:
                 tx_infos = [(sender_pos, receiver_pos, tx_range)
                             for receiver_pos in receiver_positions]
             self.batched_deliveries_saved += len(receivers) - 1
-            self._simulator.schedule(self.propagation_delay, self._deliver_batch,
-                                     receivers, frame, tx_infos)
+            self._simulator.post(self.propagation_delay, self._deliver_batch,
+                                 receivers, frame, tx_infos)
             return
         # Collision windows and jitter draws are inherently per receiver;
         # keep those events individual but reuse the batched resolution.
@@ -687,10 +690,12 @@ class WirelessMedium:
             tx_info = None
             if recorder is not None:
                 tx_info = (sender_pos, receiver_pos, tx_range)
-            handle = self._simulator.schedule(delay, self._deliver, receiver_id,
-                                              frame, entry, tx_info)
             if entry is not None:
-                entry.handle = handle
+                entry.handle = self._simulator.schedule(
+                    delay, self._deliver, receiver_id, frame, entry, tx_info)
+            else:
+                self._simulator.post(delay, self._deliver, receiver_id,
+                                     frame, None, tx_info)
 
     def _deliver_batch(self, receiver_ids: List[str], frame: Frame,
                        tx_infos: Optional[List[Tuple[Position, Position, Optional[float]]]]) -> None:

@@ -247,6 +247,17 @@ class Network:
         """Current simulated time."""
         return self.simulator.now
 
+    def engine_counters(self) -> Dict[str, int]:
+        """Scheduler throughput counters (empty for engines without them).
+
+        The timer-wheel :class:`~repro.netsim.engine.Simulator` reports
+        ``pushes``/``pops``/``cancelled_skipped``/``wheel_hits``/
+        ``compactions``; the reference :class:`~repro.netsim.engine.
+        HeapSimulator` (and any injected stand-in) reports ``{}``.
+        """
+        counters = getattr(self.simulator, "counters", None)
+        return counters() if callable(counters) else {}
+
     def node_ids(self) -> List[str]:
         """All registered node identifiers (sorted for determinism)."""
         return sorted(self.interfaces)

@@ -142,14 +142,14 @@ class OlsrNode(RoutingProtocol):
         self.log.log(self.now, LogCategory.SYSTEM, "NODE_STARTED",
                      willingness=int(self.config.willingness))
         start_delay = self.rng.uniform(0.0, self.config.start_delay_max)
-        self.simulator.schedule_periodic(
+        self._schedule_periodic(
             self.config.hello_interval,
             self._emit_hello,
             start_delay=start_delay,
             jitter=self.config.emission_jitter,
             rng=self.rng,
         )
-        self.simulator.schedule_periodic(
+        self._schedule_periodic(
             self.config.tc_interval,
             self._emit_tc,
             start_delay=start_delay + self.config.hello_interval,
@@ -157,7 +157,7 @@ class OlsrNode(RoutingProtocol):
             rng=self.rng,
         )
         if self.config.extra_interface_addresses:
-            self.simulator.schedule_periodic(
+            self._schedule_periodic(
                 self.config.tc_interval,
                 self._emit_mid,
                 start_delay=start_delay + 0.5,
@@ -165,14 +165,14 @@ class OlsrNode(RoutingProtocol):
                 rng=self.rng,
             )
         if self.config.hna_networks:
-            self.simulator.schedule_periodic(
+            self._schedule_periodic(
                 self.config.tc_interval,
                 self._emit_hna,
                 start_delay=start_delay + 1.0,
                 jitter=self.config.emission_jitter,
                 rng=self.rng,
             )
-        self.simulator.schedule_periodic(
+        self._schedule_periodic(
             self.config.hello_interval,
             self._housekeeping,
             start_delay=self.config.hello_interval,
@@ -587,7 +587,7 @@ class OlsrNode(RoutingProtocol):
         self.duplicate_set.mark_forwarded(message.originator, message.message_seq_number)
         forwarded = message.forwarded_copy()
         delay = self.rng.uniform(0.0, self.config.forward_jitter)
-        self.simulator.schedule(delay, self._transmit_forward, forwarded)
+        self.simulator.post(delay, self._transmit_forward, forwarded)
         self.stats.messages_forwarded += 1
         self.log.log(self.now, LogCategory.FORWARD, "RELAYED",
                      origin=message.originator, seq=message.message_seq_number,

@@ -159,14 +159,14 @@ class AodvNode(RoutingProtocol):
         self.log.log(self.now, LogCategory.SYSTEM, "NODE_STARTED",
                      protocol=self.protocol_name)
         start_delay = self.rng.uniform(0.0, self.config.start_delay_max)
-        self.simulator.schedule_periodic(
+        self._schedule_periodic(
             self.config.hello_interval,
             self._emit_hello,
             start_delay=start_delay,
             jitter=self.config.emission_jitter,
             rng=self.rng,
         )
-        self.simulator.schedule_periodic(
+        self._schedule_periodic(
             self.config.housekeeping_interval,
             self._housekeeping,
             start_delay=self.config.housekeeping_interval,
@@ -307,7 +307,7 @@ class AodvNode(RoutingProtocol):
                 return
         forwarded = replace(rreq, hop_count=rreq.hop_count + 1, ttl=rreq.ttl - 1)
         delay = self.rng.uniform(0.0, self.config.forward_jitter)
-        self.simulator.schedule(delay, self._broadcast, forwarded)
+        self.simulator.post(delay, self._broadcast, forwarded)
         self.stats.messages_forwarded += 1
         self.log.log(self.now, LogCategory.FORWARD, "RELAYED",
                      origin=rreq.originator, seq=rreq.rreq_id,

@@ -101,6 +101,9 @@ class RoutingProtocol(abc.ABC):
         self.data_handlers: List[Callable[[DataPacket, str], None]] = []
 
         self._started = False
+        #: Periodic-chain handles registered via :meth:`_schedule_periodic`;
+        #: cancelled wholesale by :meth:`stop`.
+        self._periodic_handles: List = []
         self.interface = network.interfaces.get(node_id)
         if self.interface is None:
             self.interface = network.create_interface(node_id)
@@ -113,9 +116,30 @@ class RoutingProtocol(abc.ABC):
         """Begin periodic control-traffic emission and housekeeping."""
 
     def stop(self) -> None:
-        """Mark the node stopped (interface stays registered but silent)."""
+        """Stop the node: cancel its periodic timers and go silent.
+
+        The interface stays registered (frames still reach ``_on_frame``)
+        but all control-traffic and housekeeping chains registered through
+        :meth:`_schedule_periodic` are cancelled, so a stopped node leaves
+        no live events behind in the engine.
+        """
         self._started = False
+        for handle in self._periodic_handles:
+            handle.cancel()
+        self._periodic_handles.clear()
         self.log.log(self.now, LogCategory.SYSTEM, "NODE_STOPPED")
+
+    def _schedule_periodic(self, interval: float, callback: Callable, *args,
+                           **kwargs):
+        """Register a periodic chain owned by this node's lifecycle.
+
+        Thin wrapper over ``simulator.schedule_periodic`` that records the
+        handle so :meth:`stop` can cancel the chain.
+        """
+        handle = self.simulator.schedule_periodic(interval, callback, *args,
+                                                  **kwargs)
+        self._periodic_handles.append(handle)
+        return handle
 
     @property
     def now(self) -> float:

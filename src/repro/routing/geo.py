@@ -83,14 +83,14 @@ class GreedyGeoNode(RoutingProtocol):
         self.log.log(self.now, LogCategory.SYSTEM, "NODE_STARTED",
                      protocol=self.protocol_name)
         start_delay = self.rng.uniform(0.0, self.config.start_delay_max)
-        self.simulator.schedule_periodic(
+        self._schedule_periodic(
             self.config.beacon_interval,
             self._emit_beacon,
             start_delay=start_delay,
             jitter=self.config.emission_jitter,
             rng=self.rng,
         )
-        self.simulator.schedule_periodic(
+        self._schedule_periodic(
             self.config.housekeeping_interval,
             self._housekeeping,
             start_delay=self.config.housekeeping_interval,

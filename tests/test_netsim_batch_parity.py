@@ -73,8 +73,13 @@ def test_batch_and_scalar_runs_are_identical(node_count, loss_model,
         assert got == want
         assert got.data == want.data
 
-    # Experiment outcome: every observable field matches.
-    assert batch_result.stats == scalar_result.stats
+    # Experiment outcome: every observable field matches.  Raw scheduler
+    # counters (``engine``) are the one legitimately path-dependent entry:
+    # batching exists precisely to push fewer delivery events.
+    batch_stats = dict(batch_result.stats)
+    scalar_stats = dict(scalar_result.stats)
+    assert batch_stats.pop("engine")["pushes"] <= scalar_stats.pop("engine")["pushes"]
+    assert batch_stats == scalar_stats
     assert batch_result.initial_trust == scalar_result.initial_trust
     assert len(batch_result.rounds) == len(scalar_result.rounds)
     for got, want in zip(batch_result.rounds, scalar_result.rounds):

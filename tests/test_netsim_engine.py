@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.netsim.engine import SimulationError, Simulator
+from repro.netsim.engine import HeapSimulator, SimulationError, Simulator
 
 
 def test_events_run_in_time_order():
@@ -243,3 +243,160 @@ def test_run_until_still_advances_clock_when_drained():
     sim.schedule(1.0, lambda: None)
     sim.run(until=4.0)
     assert sim.now == 4.0
+
+
+# ------------------------------------------------- timer-wheel scheduler core
+
+def test_post_is_equivalent_to_schedule_without_handle():
+    sim = Simulator()
+    seen = []
+    sim.post(2.0, seen.append, "late")
+    sim.post(1.0, seen.append, "early")
+    sim.run()
+    assert seen == ["early", "late"]
+    assert sim.processed_events == 2
+
+
+def test_pending_events_excludes_cancelled():
+    """Regression: ``pending_events`` used to count cancelled-but-unpopped
+    events, overstating remaining work to stats and ``peek_next_time``
+    callers."""
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles[:7]:
+        handle.cancel()
+    assert sim.pending_events == 3
+    assert sim.live_events == 3
+    assert sim.queued_entries == 10  # cancelled records await compaction
+
+
+def test_compaction_bounds_cancelled_backlog():
+    sim = Simulator(compaction_threshold=64)
+    handles = [sim.schedule(float(i % 50) + 1.0, lambda: None)
+               for i in range(1000)]
+    for handle in handles[:999]:
+        handle.cancel()
+    assert sim.counters()["compactions"] >= 1
+    # The cancelled backlog was dropped from the queue, not just flagged.
+    assert sim.queued_entries < 200
+    assert sim.live_events == 1
+
+
+def test_counters_track_wheel_hits_and_cancelled_skips():
+    sim = Simulator(wheel_quantum=1.0, wheel_slots=16,
+                    compaction_threshold=1 << 30)
+    kept = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+    doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+    for handle in doomed:
+        handle.cancel()
+    sim.run()
+    counters = sim.counters()
+    assert counters["pushes"] == 16
+    assert counters["pops"] == 8
+    assert counters["cancelled_skipped"] == 8
+    assert counters["wheel_hits"] == 16  # all within the wheel horizon
+    assert sim.processed_events == 8
+
+
+def test_equal_timestamp_fifo_across_wheel_and_overflow_boundary():
+    """An event parked in the overflow heap and a same-time event scheduled
+    later straight into the wheel must still run in scheduling order."""
+    sim = Simulator(wheel_quantum=0.05, wheel_slots=256)  # horizon 12.8 s
+    seen = []
+    sim.schedule_at(20.0, seen.append, "overflow-first")   # beyond horizon
+    sim.run(until=10.0)                                    # horizon now 22.8 s
+    sim.schedule_at(20.0, seen.append, "wheel-second")     # same timestamp
+    sim.schedule_at(20.0, seen.append, "wheel-third")
+    sim.run()
+    assert seen == ["overflow-first", "wheel-second", "wheel-third"]
+    assert sim.now == 20.0
+
+
+def test_until_and_max_events_interplay_after_wheel_rollover():
+    sim = Simulator(wheel_quantum=1.0, wheel_slots=8)  # horizon 8 s
+    times = []
+    for i in range(1, 31):                             # wraps the wheel 3×
+        sim.schedule_at(float(i), times.append, i)
+    sim.run(until=15.5, max_events=10)
+    assert times == list(range(1, 11))
+    assert sim.now == 10.0                             # not jumped to until
+    sim.run(until=15.5)
+    assert times == list(range(1, 16))
+    assert sim.now == 15.5
+    sim.run()
+    assert times == list(range(1, 31))
+    assert sim.now == 30.0
+
+
+def test_drain_is_deterministic_across_wheel_and_overflow():
+    sim = Simulator(wheel_quantum=1.0, wheel_slots=4)  # horizon 4 s
+    labels = {}
+    order = [2.5, 0.5, 9.0, 2.5, 6.0, 0.5, 30.0]       # wheel + overflow mix
+    handles = []
+    for i, t in enumerate(order):
+        handles.append(sim.schedule_at(t, lambda: None))
+        labels[handles[-1]._event.sequence] = (t, i)
+    handles[3].cancel()                                # drop one duplicate
+    drained = [(event.time, event.sequence) for event in sim.drain()]
+    assert drained == sorted(drained)                  # (time, seq) order
+    assert len(drained) == 6                           # cancelled one skipped
+    assert sim.pending_events == 0
+    assert sim.peek_next_time() is None
+
+
+def test_periodic_handle_time_tracks_next_firing():
+    """Regression for the chain re-pointing bug: ``EventHandle.time`` on a
+    periodic handle must always report the *next* firing."""
+    sim = Simulator()
+    handle = sim.schedule_periodic(1.0, lambda: None)
+    assert handle.time == 1.0
+    sim.run(until=3.5)
+    assert handle.time == 4.0
+    sim.run(until=7.2)
+    assert handle.time == 8.0
+    assert not handle.cancelled
+
+
+def test_periodic_cancel_after_n_firings_leaves_no_ghost_event():
+    """Cancelling from inside the Nth firing used to leave one live no-op
+    event queued (and the handle claiming a phantom next firing)."""
+    sim = Simulator()
+    ticks = []
+    handles = {}
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) == 3:
+            handles["chain"].cancel()
+
+    handles["chain"] = sim.schedule_periodic(1.0, tick)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert handles["chain"].cancelled
+    assert sim.live_events == 0
+    assert sim.peek_next_time() is None
+
+
+def test_periodic_cancel_between_firings_on_heap_reference_engine():
+    sim = HeapSimulator()
+    ticks = []
+    handle = sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=2.5)
+    assert handle.time == 3.0
+    handle.cancel()
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert handle.cancelled
+
+
+def test_heap_reference_engine_matches_basic_semantics():
+    sim = HeapSimulator()
+    seen = []
+    sim.post(2.0, seen.append, "late")
+    handle = sim.schedule(1.0, seen.append, "early")
+    doomed = sim.schedule(1.5, seen.append, "never")
+    doomed.cancel()
+    sim.run()
+    assert seen == ["early", "late"]
+    assert handle.time == 1.0
+    assert sim.pending_events == 0
