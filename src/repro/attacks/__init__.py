@@ -5,8 +5,44 @@ attacks and modify-and-forward attacks; the paper's own developed attack is
 the *link spoofing* active forge.  Every class installs hooks on the victim
 node (HELLO/TC mutators, forward filters, message taps, answer mutators)
 rather than patching the protocol implementation.
+
+Adaptive tier (:mod:`repro.attacks.adaptive`)
+---------------------------------------------
+On top of the open-loop attacks sits a *closed-loop* tier: adversaries that
+observe the detector's state and modulate their own behaviour.  The
+feedback surface is deliberately narrow — a read-only
+:class:`~repro.attacks.adaptive.TrustProbe` over
+``TrustManager.trust_of``, i.e. exactly the signal a real attacker could
+estimate from how its neighbours treat it — and the adaptation hook is one
+method, ``observe(now)``, called once per detection cycle by the drivers
+(the oracle round loop via ``ScenarioConfig.adaptivity``, the netsim
+backend via ``SimulationScenario.adaptive_attacks``).  Three adversaries
+implement the tier:
+
+* :class:`~repro.attacks.adaptive.ThresholdRidingGrayhole` — throttles and
+  pauses its dropping as its observed trust nears the classification
+  threshold, resuming once the forgetting factor restores headroom;
+* :class:`~repro.attacks.adaptive.RotatingLiarClique` — one active liar per
+  epoch, the rest honest, starving per-recommender bookkeeping;
+* the detectability search loop (:mod:`repro.attacks.search`) — a (1+λ)
+  evolutionary search over fuzzer corpora hunting the least-detectable
+  attack configuration (CLI: ``python -m repro.experiments attack-search``).
+
+Seeding: attacks default to a per-node deterministic RNG derived at
+``install()`` time via ``stable_seed(0, f"attack:{name}:{node_id}")``, so
+two attackers never share a stream unless the caller passes one RNG to
+both on purpose.
 """
 
+from repro.attacks.adaptive import (
+    AdaptiveAttack,
+    DropCycleRecord,
+    DropLoopResult,
+    RotatingLiarClique,
+    ThresholdRidingGrayhole,
+    TrustProbe,
+    run_drop_feedback_loop,
+)
 from repro.attacks.base import Attack, AttackSchedule, PeriodicSchedule
 from repro.attacks.collusion import (
     CliqueMember,
@@ -38,12 +74,15 @@ from repro.attacks.replay import ReplayAttack, SequenceNumberHijackAttack, Wormh
 from repro.attacks.scenario import AttackScenario
 
 __all__ = [
+    "AdaptiveAttack",
     "Attack",
     "AttackSchedule",
     "AttackScenario",
     "BlackholeAttack",
     "BroadcastStormAttack",
     "CliqueMember",
+    "DropCycleRecord",
+    "DropLoopResult",
     "GrayholeAttack",
     "HnaSpoofingAttack",
     "IdentitySpoofingAttack",
@@ -54,9 +93,13 @@ __all__ = [
     "OnOffDroppingAttack",
     "PeriodicSchedule",
     "ReplayAttack",
+    "RotatingLiarClique",
     "SelectiveDropFilter",
+    "ThresholdRidingGrayhole",
     "ThreatStack",
+    "TrustProbe",
     "grayhole_liar_stack",
+    "run_drop_feedback_loop",
     "SequenceNumberHijackAttack",
     "TcTamperingAttack",
     "WillingnessManipulationAttack",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 
 @dataclass
@@ -80,13 +80,26 @@ class Attack(abc.ABC):
         self.schedule = schedule or AttackSchedule()
         self.installed_on: List[str] = []
         self._manual_override: Optional[bool] = None
+        self._activation_gates: List[Callable[[float], bool]] = []
 
     # ---------------------------------------------------------------- control
     def is_active(self, now: float) -> bool:
-        """Whether the attack currently applies (manual override wins)."""
+        """Whether the attack currently applies (manual override wins).
+
+        Without an override the attack is active when its own schedule says
+        so AND every registered activation gate agrees — a composite such as
+        :class:`~repro.attacks.collusion.ThreatStack` gates its layers on the
+        stack-level window this way.
+        """
         if self._manual_override is not None:
             return self._manual_override
-        return self.schedule.is_active(now)
+        if not self.schedule.is_active(now):
+            return False
+        return all(gate(now) for gate in self._activation_gates)
+
+    def add_activation_gate(self, gate: Callable[[float], bool]) -> None:
+        """AND an extra ``gate(now) -> bool`` condition into :meth:`is_active`."""
+        self._activation_gates.append(gate)
 
     def activate(self) -> None:
         """Force the attack on regardless of the schedule."""

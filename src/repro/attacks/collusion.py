@@ -86,6 +86,16 @@ class LiarClique:
             return "lie"
         return "honest"
 
+    def member_decision(self, member_id: str, suspect: str, now: float) -> str:
+        """The verdict ``member_id`` applies for ``suspect`` at time ``now``.
+
+        The base clique ignores the member identity — everyone executes the
+        shared epoch decision.  Subclasses (the rotating clique of
+        :mod:`repro.attacks.adaptive`) override this to vary the verdict per
+        member while keeping the shared stream intact.
+        """
+        return self.decision(suspect, now)
+
     # -------------------------------------------------------------- members
     def member(self, node_id: str) -> "CliqueMember":
         """Create (and register) the lying behaviour of one clique member."""
@@ -127,7 +137,7 @@ class CliqueMember(LiarBehavior):
         self.member_id = member_id
 
     def _decide(self, suspect: str, honest: Optional[bool], now: float) -> Optional[bool]:
-        verdict = self.clique.decision(suspect, now)
+        verdict = self.clique.member_decision(self.member_id, suspect, now)
         if verdict == "suppress":
             self.answers_suppressed += 1
             return None
@@ -175,6 +185,11 @@ class ThreatStack(Attack):
     falsified answers.  The stack delegates ``install`` to each layer and
     mirrors activation controls to all of them, so scenarios treat it as a
     single attack.
+
+    The stack-level ``schedule`` is an AND-gate over the layers: a layer is
+    active only while its *own* schedule and the stack window both say so
+    (a manual ``activate()``/``deactivate()`` on a layer still wins, matching
+    the mirrored-control semantics).
     """
 
     name = "threat-stack"
@@ -185,6 +200,14 @@ class ThreatStack(Attack):
         self.attacks: List[Attack] = list(attacks)
         if not self.attacks:
             raise ValueError("a threat stack needs at least one attack")
+        for attack in self.attacks:
+            # Bound method, not ``self.schedule.is_active``: replacing the
+            # stack's schedule later must keep gating the layers.
+            attack.add_activation_gate(self._stack_window)
+
+    def _stack_window(self, now: float) -> bool:
+        """Whether the stack-level schedule admits activity at ``now``."""
+        return self.schedule.is_active(now)
 
     def install(self, node) -> None:
         for attack in self.attacks:

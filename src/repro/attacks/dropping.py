@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Optional, Set
 from repro.attacks.base import Attack, AttackSchedule, PeriodicSchedule, _underlying_router
 from repro.olsr.constants import MessageType
 from repro.olsr.messages import OlsrMessage
+from repro.seeding import stable_seed
 
 
 class BlackholeAttack(Attack):
@@ -65,12 +66,21 @@ class GrayholeAttack(Attack):
         self.victim_originators: Optional[Set[str]] = (
             set(victim_originators) if victim_originators is not None else None
         )
-        self.rng = rng or random.Random(0)
+        # When no rng is supplied, a per-node stream is derived at install()
+        # time (stable_seed of the node id, as OracleTransport does per
+        # owner); two default-constructed grayholes on different nodes used
+        # to share random.Random(0) and drop the exact same message indices.
+        # The pre-install fallback keeps uninstalled standalone use working.
+        self._rng_supplied = rng is not None
+        self.rng = rng if rng is not None else random.Random(0)
         self.dropped_count = 0
         self.relayed_count = 0
 
     def install(self, node) -> None:
         olsr = _underlying_router(node)
+        if not self._rng_supplied and not self.installed_on:
+            self.rng = random.Random(
+                stable_seed(0, f"attack:{self.name}:{olsr.node_id}"))
         olsr.forward_filters.append(self._filter)
         self.mark_installed(olsr.node_id)
 
@@ -99,6 +109,20 @@ class GrayholeAttack(Attack):
         if total == 0:
             return 0.0
         return self.dropped_count / total
+
+    def describe(self) -> dict:
+        data = super().describe()
+        data.update({
+            "drop_probability": self.drop_probability,
+            "message_types": (sorted(str(t) for t in self.message_types)
+                              if self.message_types is not None else None),
+            "victim_originators": (sorted(self.victim_originators)
+                                   if self.victim_originators is not None else None),
+            "dropped": self.dropped_count,
+            "relayed": self.relayed_count,
+            "observed_drop_ratio": self.observed_drop_ratio,
+        })
+        return data
 
 
 class OnOffDroppingAttack(GrayholeAttack):

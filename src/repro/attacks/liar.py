@@ -15,6 +15,7 @@ import random
 from typing import Iterable, Optional, Set
 
 from repro.attacks.base import Attack, AttackSchedule
+from repro.seeding import stable_seed
 
 
 class LieMode(str, enum.Enum):
@@ -71,7 +72,12 @@ class LiarBehavior(Attack):
         self.lie_probability = lie_probability
         self.suppress_probability = suppress_probability
         self.mode = mode
-        self.rng = rng or random.Random(0)
+        # Per-node stream derived at install() time when no rng is supplied
+        # (stable_seed of the node id, mirroring OracleTransport's per-owner
+        # derivation): two default-constructed liars used to share
+        # random.Random(0) and lie on the exact same query indices.
+        self._rng_supplied = rng is not None
+        self.rng = rng if rng is not None else random.Random(0)
         self.lies_told = 0
         self.answers_suppressed = 0
         self.honest_answers = 0
@@ -81,8 +87,11 @@ class LiarBehavior(Attack):
         if not hasattr(node, "answer_mutators"):
             raise TypeError("LiarBehavior must be installed on a node exposing answer_mutators")
         self._node = node
+        node_id = getattr(node, "node_id", "unknown")
+        if not self._rng_supplied and not self.installed_on:
+            self.rng = random.Random(stable_seed(0, f"attack:{self.name}:{node_id}"))
         node.answer_mutators.append(self._mutate_answer)
-        self.mark_installed(getattr(node, "node_id", "unknown"))
+        self.mark_installed(node_id)
 
     # ------------------------------------------------------------------ logic
     def _concerns_protected(self, suspect: str) -> bool:

@@ -1,0 +1,283 @@
+"""Detectability search: a (1+λ) evolutionary loop hunting stealthy configs.
+
+The third adaptive adversary is not a node behaviour but a *search process*:
+given the fuzzer's corpus of static attack scenarios as a starting
+population, it mutates the adversary-controlled knobs (adaptivity tier,
+liar head-count, riding thresholds) and keeps whatever the detector notices
+least.  The loop is elitist — the incumbent survives every generation — so
+its winner is never more detectable than the best static corpus entry it
+started from, and every evaluation derives from
+:func:`repro.seeding.stable_seed`, so a search is a pure function of its
+``(base_seed, corpus, generations, children)`` arguments.
+
+The detectability score (lower = stealthier)::
+
+    detected at round k of n   →  1 + (n - k) / n        (in (1, 2])
+    never classified INTRUDER  →  trust erosion fraction (in [0, 1))
+
+so any undetected configuration strictly beats any detected one, and among
+undetected ones the attacker prefers the config that erodes its trust
+least.  Winners are shrunk with the validation harness's
+:func:`~repro.validation.fuzz.minimize_params` (a simplification is kept
+only while the config stays at least as stealthy as the static baseline)
+and reported as a copy-pastable ``python -m repro.experiments run
+adaptivity`` reproducer line.
+
+CLI: ``python -m repro.experiments attack-search --corpus 4 --generations 6
+--children 4``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.decision import DecisionOutcome
+from repro.experiments.backends import (
+    execute_backend,
+    scenario_config_from_params,
+)
+from repro.experiments.config import ADAPTIVITY_MODES
+from repro.experiments.rounds import ExperimentResult
+from repro.scenarios import ScenarioFuzzer, apply_profile, reproducer_command
+from repro.seeding import stable_seed
+from repro.validation.fuzz import minimize_params
+
+#: Riding-band values the mutator may install (kept inside the trust model's
+#: useful range: above the classification region, below the default trust).
+RIDING_THRESHOLDS: Sequence[float] = (0.28, 0.30, 0.32, 0.34, 0.36)
+#: Resume offsets above the riding threshold (hysteresis width).
+RIDING_GAPS: Sequence[float] = (0.02, 0.04, 0.06, 0.08)
+
+
+def detectability_score(result: ExperimentResult) -> float:
+    """How visibly the attacker behaved in one run (lower = stealthier).
+
+    A run where the decision rule ever says INTRUDER scores in ``(1, 2]``
+    (earlier detection → higher score); an unclassified run scores its trust
+    erosion fraction in ``[0, 1)``.  The gap at 1.0 makes "never caught"
+    incomparable-in-the-attacker's-favour with "caught late".
+    """
+    rounds = result.rounds
+    total = len(rounds)
+    if total == 0:
+        return 0.0
+    for record in rounds:
+        if record.outcome == DecisionOutcome.INTRUDER:
+            return 1.0 + (total - record.round_index) / total
+    default = result.config.trust.default_trust
+    final = None
+    for record in reversed(rounds):
+        if record.trust_snapshot:
+            final = record.trust_snapshot.get(result.attacker)
+            break
+    if final is None or default <= 0:
+        return 0.0
+    return max(0.0, (default - final) / default)
+
+
+@dataclass(frozen=True)
+class EvaluatedConfig:
+    """One evaluated attack configuration (frozen; sortable by score)."""
+
+    label: str
+    params: Tuple[Tuple[str, object], ...]
+    seed: int
+    score: float
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass
+class AttackSearchResult:
+    """Outcome of one detectability search."""
+
+    backend: str
+    base_seed: int
+    generations: int
+    children: int
+    evaluations: int = 0
+    baselines: List[EvaluatedConfig] = field(default_factory=list)
+    #: Best config after each generation (index 0 = the static incumbent).
+    trajectory: List[EvaluatedConfig] = field(default_factory=list)
+    winner: Optional[EvaluatedConfig] = None
+    minimized: Optional[EvaluatedConfig] = None
+    reproducer: str = ""
+
+    @property
+    def best_static(self) -> EvaluatedConfig:
+        """The stealthiest static corpus entry (the search's baseline)."""
+        return min(self.baselines, key=lambda e: (e.score, e.label))
+
+    def format_report(self) -> str:
+        """Deterministic plain-text report of the search."""
+        lines = [
+            "Attack-detectability search",
+            f"  backend:      {self.backend}",
+            f"  base seed:    {self.base_seed}",
+            f"  corpus:       {len(self.baselines)} static baselines",
+            f"  generations:  {self.generations} x {self.children} children",
+            f"  evaluations:  {self.evaluations}",
+            "",
+            "  static baselines (detectability, lower = stealthier):",
+        ]
+        for entry in self.baselines:
+            lines.append(f"    {entry.score:.4f}  {entry.label}")
+        lines.append("")
+        lines.append("  search trajectory:")
+        for index, entry in enumerate(self.trajectory):
+            lines.append(f"    gen {index}: {entry.score:.4f}  {entry.label}")
+        if self.winner is not None:
+            best = self.best_static
+            lines.append("")
+            lines.append(f"  winner: {self.winner.score:.4f} ({self.winner.label})"
+                         f" vs best static {best.score:.4f} ({best.label})")
+            shown = self.minimized or self.winner
+            interesting = sorted(
+                (name, value) for name, value in shown.params
+                if name in ("adaptivity", "liar_count", "riding_threshold",
+                            "riding_resume", "threat", "total_nodes"))
+            for name, value in interesting:
+                lines.append(f"    {name} = {value}")
+            lines.append("")
+            lines.append(f"  reproduce: {self.reproducer}")
+        return "\n".join(lines)
+
+
+def _evaluate(params: Mapping[str, object], seed: int, backend: str) -> float:
+    """Detectability of one fully-specified attack configuration."""
+    expanded = apply_profile(dict(params))
+    config = scenario_config_from_params(expanded, seed)
+    result = execute_backend(backend, config, expanded)
+    return detectability_score(result)
+
+
+def _describe(params: Mapping[str, object]) -> str:
+    """Short human label of the adversary-controlled knobs."""
+    adaptivity = params.get("adaptivity", "static")
+    bits = [f"adaptivity={adaptivity}", f"liars={params.get('liar_count', 0)}"]
+    if adaptivity == "throttling":
+        bits.append(f"ride={params.get('riding_threshold')}"
+                    f"/{params.get('riding_resume')}")
+    return " ".join(str(b) for b in bits)
+
+
+def _mutate(params: Dict[str, object], rng: random.Random) -> Dict[str, object]:
+    """One mutated child: perturb a single adversary-controlled knob."""
+    child = dict(params)
+    move = rng.randrange(4)
+    if move == 0:
+        child["adaptivity"] = ADAPTIVITY_MODES[rng.randrange(len(ADAPTIVITY_MODES))]
+    elif move == 1:
+        total = int(child.get("total_nodes", 8))
+        ceiling = max(0, (total - 2) // 4)
+        current = int(child.get("liar_count", 0))
+        step = 1 if rng.random() < 0.5 else -1
+        child["liar_count"] = min(ceiling, max(0, current + step))
+    elif move == 2:
+        child["riding_threshold"] = RIDING_THRESHOLDS[
+            rng.randrange(len(RIDING_THRESHOLDS))]
+    else:
+        gap = RIDING_GAPS[rng.randrange(len(RIDING_GAPS))]
+        child["riding_resume"] = round(
+            float(child.get("riding_threshold", 0.32)) + gap, 4)
+    # Keep the hysteresis band well-formed whatever the move touched.
+    threshold = float(child.get("riding_threshold", 0.32))
+    resume = float(child.get("riding_resume", 0.38))
+    if resume < threshold:
+        child["riding_resume"] = round(threshold + 0.02, 4)
+    return child
+
+
+def search_attack_configs(
+    corpus_size: int = 4,
+    generations: int = 6,
+    children: int = 4,
+    base_seed: int = 0,
+    rounds: int = 20,
+    backend: str = "oracle",
+    profiles: Optional[Sequence[str]] = None,
+    minimize: bool = True,
+) -> AttackSearchResult:
+    """Run the (1+λ) detectability search and return its result.
+
+    ``corpus_size`` static fuzzer samples (``adaptivity`` forced to
+    ``static``) are scored first; the stealthiest becomes the incumbent.
+    Each of ``generations`` rounds then scores ``children`` single-knob
+    mutations of the incumbent on the incumbent's pinned seed and keeps the
+    best of parent+children (ties favour the parent, so drift needs strict
+    improvement).  Elitism guarantees ``winner.score <=
+    best_static.score``.
+    """
+    if corpus_size < 1:
+        raise ValueError("corpus_size must be >= 1")
+    search = AttackSearchResult(backend=backend, base_seed=base_seed,
+                                generations=generations, children=children)
+
+    fuzzer = ScenarioFuzzer(base_seed, profiles)
+    for sample in fuzzer.corpus(corpus_size):
+        params = sample.params_dict()
+        params["adaptivity"] = "static"
+        params["rounds"] = rounds
+        score = _evaluate(params, sample.seed, backend)
+        search.evaluations += 1
+        search.baselines.append(EvaluatedConfig(
+            label=f"{sample.run_id()} {_describe(params)}",
+            params=tuple(sorted(params.items())),
+            seed=sample.seed,
+            score=score,
+        ))
+
+    incumbent = search.best_static
+    search.trajectory.append(incumbent)
+    for generation in range(generations):
+        best = incumbent
+        for child_index in range(children):
+            rng = random.Random(stable_seed(
+                base_seed, f"attack-search:{generation}:{child_index}"))
+            child_params = _mutate(incumbent.params_dict(), rng)
+            score = _evaluate(child_params, incumbent.seed, backend)
+            search.evaluations += 1
+            candidate = EvaluatedConfig(
+                label=f"gen{generation}.{child_index} {_describe(child_params)}",
+                params=tuple(sorted(child_params.items())),
+                seed=incumbent.seed,
+                score=score,
+            )
+            if candidate.score < best.score:
+                best = candidate
+        incumbent = best
+        search.trajectory.append(incumbent)
+
+    search.winner = incumbent
+    baseline_score = search.best_static.score
+
+    final = incumbent
+    if minimize:
+        def _still_stealthy(candidate: Mapping[str, object]) -> bool:
+            search.evaluations += 1
+            return _evaluate(candidate, incumbent.seed, backend) <= baseline_score
+
+        shrunk = minimize_params(incumbent.params_dict(), incumbent.seed,
+                                 _still_stealthy)
+        final = EvaluatedConfig(
+            label=f"minimized {_describe(shrunk)}",
+            params=tuple(sorted(shrunk.items())),
+            seed=incumbent.seed,
+            score=_evaluate(shrunk, incumbent.seed, backend),
+        )
+        search.evaluations += 1
+        search.minimized = final
+
+    explicit = {name: value for name, value in final.params
+                if name != "profile"}
+    # ``adaptivity`` is the adaptivity experiment's swept axis; the engine
+    # insists axis values are pinned with --axis, not --param.
+    adaptivity = explicit.pop("adaptivity", "static")
+    search.reproducer = (
+        reproducer_command(explicit, final.seed,
+                           experiment="adaptivity", backend=backend)
+        + f" --axis adaptivity={adaptivity}")
+    return search

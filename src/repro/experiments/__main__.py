@@ -410,6 +410,72 @@ def validate_main(argv: Sequence[str]) -> int:
     return 0 if report.ok else 1
 
 
+def build_attack_search_parser() -> argparse.ArgumentParser:
+    """Parser of the ``attack-search`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog=f"{_PROG} attack-search",
+        description="Hunt the least-detectable attack configuration with a "
+                    "(1+lambda) evolutionary search over fuzzed corpora "
+                    "(repro.attacks.search); the winner is shrunk to a "
+                    "minimal reproducer CLI line.",
+    )
+    parser.add_argument("--corpus", type=int, default=4, metavar="N",
+                        help="static fuzzer samples seeding the search "
+                             "(default: 4)")
+    parser.add_argument("--generations", type=int, default=6, metavar="G",
+                        help="search generations (default: 6)")
+    parser.add_argument("--children", type=int, default=4, metavar="L",
+                        help="mutated children per generation (default: 4)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="search base seed (default: 0); the whole search "
+                             "is a pure function of its arguments")
+    parser.add_argument("--rounds", type=int, default=20, metavar="R",
+                        help="evaluation rounds per configuration (default: 20)")
+    parser.add_argument("--backend", choices=BACKENDS, default="oracle",
+                        help="evaluation backend (default: oracle)")
+    parser.add_argument("--profiles", type=str, default=None, metavar="A,B",
+                        help="restrict the seeding corpus to these scenario "
+                             "profiles")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report the raw winner without shrinking it")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    return parser
+
+
+def attack_search_main(argv: Sequence[str]) -> int:
+    """Entry point of the ``attack-search`` subcommand."""
+    parser = build_attack_search_parser()
+    args = parser.parse_args(argv)
+    if args.corpus <= 0:
+        parser.error("--corpus must be positive")
+    if args.generations < 0 or args.children < 0:
+        parser.error("--generations and --children must be non-negative")
+    from repro.attacks.search import search_attack_configs
+    from repro.scenarios import get_profile
+
+    profiles = None
+    if args.profiles:
+        profiles = [name.strip() for name in args.profiles.split(",") if name.strip()]
+        try:
+            for name in profiles:
+                get_profile(name)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    result = search_attack_configs(
+        corpus_size=args.corpus,
+        generations=args.generations,
+        children=args.children,
+        base_seed=args.base_seed,
+        rounds=args.rounds,
+        backend=args.backend,
+        profiles=profiles,
+        minimize=not args.no_minimize,
+    )
+    return emit_report(result.format_report(), args.output)
+
+
 _USAGE = f"""usage: {_PROG} <command> ...
 
 commands:
@@ -419,6 +485,8 @@ commands:
   report      re-aggregate a stored run/campaign (--db) or fetch it from a
               fabric results service (--url)
   validate    fuzz scenario profiles through invariant + differential checks
+  attack-search
+              evolutionary search for the least-detectable attack config
   fabric      distributed campaigns: dispatch | work | merge | serve | status
 
 run '{_PROG} <command> --help' for the command's options."""
@@ -443,6 +511,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return report_main(rest)
     if command == "validate":
         return validate_main(rest)
+    if command == "attack-search":
+        return attack_search_main(rest)
     if command == "fabric":
         from repro.fabric.cli import main as fabric_main
 

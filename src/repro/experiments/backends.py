@@ -246,6 +246,10 @@ def drive_netsim_scenario(scenario, config: ScenarioConfig,
             )
         record.trust_snapshot = victim.trust.as_dict()
         result.rounds.append(record)
+        # Close the feedback loop: adaptive attack layers observe the
+        # detector (through their read-only trust probes) once per cycle.
+        for adaptive in getattr(scenario, "adaptive_attacks", ()):
+            adaptive.observe(network.now)
 
     result.stats = {
         "frames_sent": network.medium.stats.frames_sent,

@@ -13,6 +13,12 @@ from typing import Optional
 
 from repro.trust.manager import TrustParameters
 
+#: Adversary adaptivity tiers the round loop (and the netsim threat
+#: compositions) implement.  ``"static"`` reproduces the paper's open-loop
+#: adversary; the adaptive tiers are the novel extension of
+#: :mod:`repro.attacks.adaptive`.
+ADAPTIVITY_MODES = ("static", "throttling", "rotating")
+
 
 @dataclass
 class ScenarioConfig:
@@ -44,6 +50,17 @@ class ScenarioConfig:
     use_trust_weighting: bool = True
     #: Terminate the investigation at the first conclusive decision.
     close_on_decision: bool = False
+    #: Adversary adaptivity tier (see :data:`ADAPTIVITY_MODES`):
+    #: ``"throttling"`` makes the attacker pause its misconduct whenever the
+    #: investigator's trust in it falls to ``riding_threshold`` and resume at
+    #: ``riding_resume`` (threshold riding, fed by a read-only trust probe);
+    #: ``"rotating"`` makes only one liar per round lie while the rest stay
+    #: honest, starving the per-recommender bookkeeping.
+    adaptivity: str = "static"
+    #: Trust level at/below which a threshold-riding attacker pauses.
+    riding_threshold: float = 0.32
+    #: Trust level at which a paused threshold-rider resumes (hysteresis).
+    riding_resume: float = 0.38
     #: Trust-system parameters (Eq. 5).  The experiment defaults keep a small
     #: positive trust floor (so distrusted nodes retain a marginal weight, as
     #: in the paper where Detect converges to ≈ −0.8 rather than −1) and a
@@ -65,6 +82,12 @@ class ScenarioConfig:
             raise ValueError("rounds must be positive")
         if self.liar_fraction is not None and not 0.0 <= self.liar_fraction < 1.0:
             raise ValueError("liar_fraction must be in [0, 1)")
+        if self.adaptivity not in ADAPTIVITY_MODES:
+            raise ValueError(
+                f"unknown adaptivity {self.adaptivity!r} "
+                f"(expected one of {', '.join(ADAPTIVITY_MODES)})")
+        if self.riding_resume < self.riding_threshold:
+            raise ValueError("riding_resume must be >= riding_threshold")
         if self.effective_liar_count() > self.responder_count():
             raise ValueError("more liars than responders")
 

@@ -71,6 +71,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.confidence_sweep",
     "repro.experiments.gravity_ablation",
     "repro.experiments.mobility",
+    "repro.experiments.adaptivity",
 )
 
 

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.attacks.adaptive import TrustProbe
 from repro.attacks.liar import LiarBehavior
 from repro.core.decision import DecisionOutcome
 from repro.core.investigation import CooperativeInvestigator, OracleTransport, RoundResult
@@ -146,6 +147,11 @@ class RoundBasedExperiment:
 
         self._attack_active = True
         self.trust = TrustManager(self.investigator_id, self.config.trust)
+        #: Read-only feedback surface of the adaptive adversary tiers: the
+        #: throttling attacker observes its own trust (as the investigator
+        #: scores it) through this probe and nothing else.
+        self._trust_probe = TrustProbe(self.trust, self.attacker_id)
+        self._riding_paused = False
         self.recommendations = RecommendationManager(self.investigator_id)
         self._liar_behaviors: Dict[str, LiarBehavior] = {}
         self._responders: Dict[str, _Responder] = {}
@@ -225,11 +231,9 @@ class RoundBasedExperiment:
     def run_round(self, round_index: int) -> RoundRecord:
         """Run a single round and return its record."""
         self._attack_active = self.attack_active_at(round_index)
-        for liar in self._liar_behaviors.values():
-            if self._attack_active:
-                liar.follow_schedule()
-            else:
-                liar.deactivate()
+        if self._attack_active and self.config.adaptivity == "throttling":
+            self._attack_active = not self._riding_pauses_now()
+        self._apply_liar_policy(round_index)
 
         if self._attack_active and not self._investigation_closed():
             round_result = self.investigator.run_round(self.attacker_id, now=float(round_index))
@@ -254,6 +258,48 @@ class RoundBasedExperiment:
             )
         record.trust_snapshot = self.trust.as_dict()
         return record
+
+    def _riding_pauses_now(self) -> bool:
+        """Threshold riding: pause/resume hysteresis on the probed trust.
+
+        The attacker reads its own trust as the investigator sees it
+        (through the read-only probe) and stops spoofing once that trust
+        falls to ``riding_threshold``; paused rounds look misconduct-free,
+        so the forgetting factor restores headroom until ``riding_resume``
+        readmits the attack.
+        """
+        trust = self._trust_probe.read()
+        if self._riding_paused:
+            if trust >= self.config.riding_resume:
+                self._riding_paused = False
+        elif trust <= self.config.riding_threshold:
+            self._riding_paused = True
+        return self._riding_paused
+
+    def _apply_liar_policy(self, round_index: int) -> None:
+        """Activate the liars the current adaptivity tier fields this round.
+
+        Static (and throttling) adversaries field every liar while the
+        attack is active — the paper's behaviour, bit for bit.  The rotating
+        tier fields exactly one liar per round (round-indexed entry of the
+        sorted roster) and keeps the rest honest, starving the
+        per-recommender disagreement bookkeeping.
+        """
+        if not self._attack_active:
+            for liar in self._liar_behaviors.values():
+                liar.deactivate()
+            return
+        if self.config.adaptivity == "rotating" and self._liar_behaviors:
+            roster = sorted(self._liar_behaviors)
+            active_liar = roster[round_index % len(roster)]
+            for node_id, liar in self._liar_behaviors.items():
+                if node_id == active_liar:
+                    liar.follow_schedule()
+                else:
+                    liar.deactivate()
+            return
+        for liar in self._liar_behaviors.values():
+            liar.follow_schedule()
 
     def _investigation_closed(self) -> bool:
         state = self.investigator.state_of(self.attacker_id)

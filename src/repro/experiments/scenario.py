@@ -23,6 +23,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.attacks.adaptive import (
+    RotatingLiarClique,
+    ThresholdRidingGrayhole,
+    TrustProbe,
+)
+from repro.attacks.base import AttackSchedule
 from repro.attacks.collusion import LiarClique, grayhole_liar_stack
 from repro.attacks.dropping import GrayholeAttack, OnOffDroppingAttack
 from repro.attacks.liar import LiarBehavior
@@ -64,6 +70,10 @@ class SimulationScenario:
     victim_id: str
     attacker_id: str
     liar_ids: Set[str] = field(default_factory=set)
+    #: Adaptive attack layers whose ``observe(now)`` feedback hook the
+    #: driving loop must call once per detection cycle (see
+    #: :mod:`repro.attacks.adaptive`).
+    adaptive_attacks: List = field(default_factory=list)
 
     @property
     def victim(self) -> DetectorNode:
@@ -199,7 +209,8 @@ def _build_loss_model(kind: str, loss_probability: float, radio_range: float,
 MOBILITY_MODELS = ("auto", "static", "waypoint", "walk", "gauss-markov", "rpgm")
 
 #: Threat compositions build_manet_scenario can install by name.
-THREATS = ("link-spoofing", "onoff-grayhole", "liar-clique", "grayhole-liar")
+THREATS = ("link-spoofing", "onoff-grayhole", "liar-clique", "grayhole-liar",
+           "throttling-grayhole", "rotating-clique")
 
 
 def _build_mobility(kind: str, area_size: float, max_speed: float,
@@ -286,6 +297,15 @@ def build_manet_scenario(
     * ``"grayhole-liar"`` — a stacked threat: the attacker grayholes *and*
       shields itself with falsified answers when investigated, on top of the
       independent liars.
+    * ``"throttling-grayhole"`` — the adaptive tier: the attacker grayholes
+      but *rides the detection threshold*, pausing its dropping whenever the
+      victim's trust in it nears the classification level and resuming as
+      forgetting restores headroom (:class:`repro.attacks.adaptive.
+      ThresholdRidingGrayhole`, fed back through a read-only trust probe).
+    * ``"rotating-clique"`` — the liar clique, but with a single *active*
+      liar rotating per epoch while the rest answer honestly, starving the
+      per-recommender disagreement bookkeeping
+      (:class:`repro.attacks.adaptive.RotatingLiarClique`).
 
     These (with ``loss_model``/``max_speed``) are the axes the scenario
     campaign and the unified experiment CLI sweep.
@@ -397,6 +417,7 @@ def build_manet_scenario(
         scenario.add(attacker_id, base_attack)
 
     # Threat composition: extra payloads stacked on the spoofing attacker.
+    adaptive_attacks: List = []
     if threat == "onoff-grayhole":
         scenario.add(attacker_id, OnOffDroppingAttack(
             drop_probability=drop_probability,
@@ -412,17 +433,35 @@ def build_manet_scenario(
             rng=random.Random(stable_seed(seed, "grayhole")),
             liar_rng=random.Random(stable_seed(seed, "self-liar")),
         ))
+    elif threat == "throttling-grayhole":
+        # The adaptive tier: the attacker additionally grayholes, but paces
+        # the dropping against its own trust as the victim scores it — the
+        # probe is bound to the victim's trust manager (victim_id is chosen
+        # above, before threat composition) and drive_netsim_scenario calls
+        # observe() once per detection cycle.
+        rider = ThresholdRidingGrayhole(
+            max_drop_probability=drop_probability,
+            schedule=AttackSchedule(start_time=attack_start),
+            rng=random.Random(stable_seed(seed, "threshold-grayhole")),
+        )
+        rider.bind_probe(TrustProbe(nodes[victim_id].trust, attacker_id))
+        scenario.add(attacker_id, rider)
+        adaptive_attacks.append(rider)
 
     # Liars: sampled among the remaining nodes.
     candidates = [nid for nid in node_ids if nid not in (attacker_id, victim_id)]
     rng.shuffle(candidates)
     liar_ids = set(candidates[:liar_count])
-    if threat == "liar-clique":
+    if threat in ("liar-clique", "rotating-clique"):
         # One shared decision stream: the clique never contradicts itself.
         # Intermittent lying (p < 1) is what coordination changes: either the
         # whole clique shields the attacker this epoch or the whole clique
         # answers honestly — independent liars at the same rate would split.
-        clique = LiarClique(protected_suspects={attacker_id},
+        # The rotating variant additionally fields only one active liar per
+        # epoch (the rest answer honestly), starving the per-recommender
+        # disagreement bookkeeping.
+        clique_cls = RotatingLiarClique if threat == "rotating-clique" else LiarClique
+        clique = clique_cls(protected_suspects={attacker_id},
                             lie_probability=0.9,
                             epoch_length=10.0,
                             seed=stable_seed(seed, "clique"))
@@ -446,6 +485,7 @@ def build_manet_scenario(
         victim_id=victim_id,
         attacker_id=attacker_id,
         liar_ids=liar_ids,
+        adaptive_attacks=adaptive_attacks,
     )
     built.start_all()
     built.bind_transports()

@@ -48,8 +48,9 @@ FUZZ_ROUNDS = 8
 
 
 def reproducer_command(params: Mapping[str, object], seed: int,
-                       experiment: str = "figure1") -> str:
-    """A ``python -m repro.experiments run`` line re-running one netsim cell.
+                       experiment: str = "figure1",
+                       backend: str = "netsim") -> str:
+    """A ``python -m repro.experiments run`` line re-running one cell.
 
     The single source of every reproducer the validation harness prints:
     pass a raw sample's parameters (profile included — the engine expands
@@ -57,7 +58,7 @@ def reproducer_command(params: Mapping[str, object], seed: int,
     """
     parts = [
         f"python -m repro.experiments run {experiment}",
-        "--backend netsim",
+        f"--backend {backend}",
         f"--seed {seed}",
     ]
     for name, value in sorted(params.items()):

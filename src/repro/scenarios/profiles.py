@@ -166,6 +166,29 @@ GRAYHOLE_LIAR_PROFILE = register_profile(ScenarioProfile(
     differential=False,
 ))
 
+#: Adaptive adversaries (:mod:`repro.attacks.adaptive`): closed-loop threat
+#: compositions that observe the detector through a read-only trust probe.
+#: The oracle loop *can* express their dynamics (the ``adaptivity`` config
+#: field), but the two backends implement them independently rather than
+#: modelling one shared stochastic process, so they stay
+#: ``differential=False``.
+THROTTLING_GRAYHOLE_PROFILE = register_profile(ScenarioProfile(
+    name="throttling-grayhole",
+    description="adaptive grayhole riding the classification threshold via a trust probe",
+    kind="threat",
+    params=(("threat", "throttling-grayhole"), ("drop_probability", 0.8),
+            ("adaptivity", "throttling")),
+    differential=False,
+))
+
+ROTATING_CLIQUE_PROFILE = register_profile(ScenarioProfile(
+    name="rotating-liar-clique",
+    description="liar clique rotating one active liar per epoch, rest honest",
+    kind="threat",
+    params=(("threat", "rotating-clique"), ("adaptivity", "rotating")),
+    differential=False,
+))
+
 #: The paper's own regime, as an explicit baseline profile.
 PAPER_BASELINE_PROFILE = register_profile(ScenarioProfile(
     name="paper-static",

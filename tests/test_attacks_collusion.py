@@ -143,6 +143,32 @@ def test_threat_stack_installs_and_mirrors_controls():
     assert [layer["name"] for layer in layers] == ["grayhole", "liar"]
 
 
+def test_threat_stack_schedule_gates_every_layer():
+    """Regression: ``ThreatStack(schedule=...)`` used to be dead state — the
+    layers consulted only their own schedules.  The stack window now ANDs
+    into each layer's activation."""
+    grayhole = GrayholeAttack(drop_probability=1.0, rng=random.Random(1))
+    liar = LiarBehavior(protected_suspects={"self"})
+    stack = ThreatStack([grayhole, liar],
+                        schedule=AttackSchedule(start_time=50.0, stop_time=100.0))
+    # The layers' own schedules say "always"; the stack window still gates.
+    assert not grayhole.is_active(10.0) and not liar.is_active(10.0)
+    assert grayhole.is_active(60.0) and liar.is_active(60.0)
+    assert not grayhole.is_active(100.0) and not liar.is_active(100.0)
+    # A layer's own (narrower) schedule still applies inside the window.
+    narrow = GrayholeAttack(drop_probability=1.0, rng=random.Random(2),
+                            schedule=AttackSchedule(start_time=70.0))
+    ThreatStack([narrow], schedule=AttackSchedule(start_time=50.0, stop_time=100.0))
+    assert not narrow.is_active(60.0) and narrow.is_active(80.0)
+    # Manual overrides keep winning over both windows.
+    stack.activate()
+    assert grayhole.is_active(10.0)
+    stack.deactivate()
+    assert not grayhole.is_active(60.0)
+    stack.follow_schedule()
+    assert grayhole.is_active(60.0)
+
+
 def test_threat_stack_requires_at_least_one_attack():
     with pytest.raises(ValueError):
         ThreatStack([])
@@ -184,6 +210,36 @@ def test_manet_scenario_threat_compositions_install_expected_payloads():
 
     with pytest.raises(ValueError):
         build_manet_scenario(node_count=10, liar_count=2, seed=5, threat="nope")
+
+
+def test_manet_scenario_adaptive_threat_compositions():
+    riding = build_manet_scenario(node_count=10, liar_count=2, seed=5,
+                                  threat="throttling-grayhole")
+    payloads = riding.attack_scenario.attacks_by_node[riding.attacker_id]
+    assert {type(a).__name__ for a in payloads} == {
+        "LinkSpoofingAttack", "ThresholdRidingGrayhole"}
+    rider = next(a for a in payloads
+                 if type(a).__name__ == "ThresholdRidingGrayhole")
+    # The feedback loop is wired: a probe on the victim's trust manager,
+    # and the scenario exposes the layer for per-cycle observe() calls.
+    assert rider.probe is not None
+    assert rider.probe.subject == riding.attacker_id
+    assert riding.adaptive_attacks == [rider]
+
+    rotating = build_manet_scenario(node_count=10, liar_count=3, seed=5,
+                                    threat="rotating-clique")
+    cliques = {
+        id(attacks[0].clique) for node, attacks
+        in rotating.attack_scenario.attacks_by_node.items()
+        if node in rotating.liar_ids
+    }
+    assert len(cliques) == 1
+    member = next(
+        attacks[0] for node, attacks
+        in rotating.attack_scenario.attacks_by_node.items()
+        if node in rotating.liar_ids)
+    assert type(member.clique).__name__ == "RotatingLiarClique"
+    assert rotating.adaptive_attacks == []     # rotation needs no probe
 
 
 def test_onoff_grayhole_drops_only_in_on_windows():

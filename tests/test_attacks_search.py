@@ -1,0 +1,105 @@
+"""Tests for the detectability search loop (repro.attacks.search)."""
+
+from __future__ import annotations
+
+from repro.attacks.search import (
+    AttackSearchResult,
+    detectability_score,
+    search_attack_configs,
+)
+from repro.core.decision import DecisionOutcome
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.rounds import RoundBasedExperiment, RoundRecord
+
+
+# --------------------------------------------------------- detectability score
+def test_detected_runs_always_score_above_undetected_ones():
+    config = ScenarioConfig(rounds=10)
+    experiment = RoundBasedExperiment(config)
+    detected = experiment.run()
+    assert any(r.outcome == DecisionOutcome.INTRUDER for r in detected.rounds)
+    score = detectability_score(detected)
+    assert score > 1.0
+
+    # Synthesize an undetected run: strip the INTRUDER outcomes.
+    for record in detected.rounds:
+        if record.outcome == DecisionOutcome.INTRUDER:
+            record.outcome = DecisionOutcome.WELL_BEHAVING
+    undetected_score = detectability_score(detected)
+    assert undetected_score < 1.0 <= score
+
+
+def test_earlier_detection_scores_as_more_detectable():
+    config = ScenarioConfig(rounds=10)
+    result = RoundBasedExperiment(config).run()
+    early = detectability_score(result)
+    # Push the first INTRUDER verdict later: detectability must drop.
+    first = next(r for r in result.rounds if r.outcome == DecisionOutcome.INTRUDER)
+    first.outcome = DecisionOutcome.WELL_BEHAVING
+    later = detectability_score(result)
+    assert later < early
+
+
+def test_empty_run_scores_zero():
+    config = ScenarioConfig(rounds=5)
+    result = RoundBasedExperiment(config).run(rounds=0)
+    assert detectability_score(result) == 0.0
+
+
+# ----------------------------------------------------------------- the search
+def _small_search(**overrides) -> AttackSearchResult:
+    kwargs = dict(corpus_size=2, generations=2, children=2,
+                  base_seed=0, rounds=8, backend="oracle", minimize=False)
+    kwargs.update(overrides)
+    return search_attack_configs(**kwargs)
+
+
+def test_search_winner_is_never_more_detectable_than_best_static():
+    """The ISSUE's acceptance property: elitism pins the winner at or below
+    the stealthiest static corpus entry, and the reproducer line names the
+    adaptivity experiment."""
+    result = _small_search(minimize=True)
+    assert result.winner is not None
+    assert result.winner.score <= result.best_static.score
+    assert result.minimized is not None
+    assert result.minimized.score <= result.best_static.score
+    assert "run adaptivity" in result.reproducer
+    assert "--seed " in result.reproducer
+    assert "--axis adaptivity=" in result.reproducer
+
+
+def test_search_is_a_pure_function_of_its_arguments():
+    first = _small_search()
+    second = _small_search()
+    assert first.format_report() == second.format_report()
+    assert first.winner.params == second.winner.params
+    assert first.evaluations == second.evaluations
+
+    shifted = _small_search(base_seed=1)
+    assert shifted.format_report() != first.format_report()
+
+
+def test_search_trajectory_is_monotonically_non_increasing():
+    result = _small_search(generations=3)
+    scores = [entry.score for entry in result.trajectory]
+    assert scores == sorted(scores, reverse=True) or all(
+        later <= earlier
+        for earlier, later in zip(scores, scores[1:]))
+    assert len(result.trajectory) == 4      # incumbent + one per generation
+    assert result.baselines[0].params_dict()["adaptivity"] == "static"
+
+
+def test_search_report_is_renderable_and_names_the_baselines():
+    result = _small_search()
+    report = result.format_report()
+    assert "Attack-detectability search" in report
+    assert "static baselines" in report
+    assert "winner:" in report
+    assert "reproduce: python -m repro.experiments run adaptivity" in report
+
+
+def test_search_rejects_empty_corpus():
+    import pytest
+
+    with pytest.raises(ValueError):
+        search_attack_configs(corpus_size=0)

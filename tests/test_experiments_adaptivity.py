@@ -1,0 +1,133 @@
+"""Tests for the adaptivity experiment (time-to-detect vs adversary
+adaptivity) and the adaptive ScenarioConfig fields behind it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.adaptivity import (
+    ADAPTIVITY_THREATS,
+    resolve_adaptivity_params,
+    time_to_distrust,
+)
+from repro.experiments.config import ADAPTIVITY_MODES, ScenarioConfig
+from repro.experiments.engine import get_experiment, run_experiment
+from repro.experiments.results import ResultsStore
+from repro.experiments.rounds import RoundBasedExperiment
+
+
+# ------------------------------------------------------------- config fields
+def test_scenario_config_validates_adaptivity_fields():
+    assert ScenarioConfig().adaptivity == "static"
+    for mode in ADAPTIVITY_MODES:
+        assert ScenarioConfig(adaptivity=mode).adaptivity == mode
+    with pytest.raises(ValueError):
+        ScenarioConfig(adaptivity="clever")
+    with pytest.raises(ValueError):
+        ScenarioConfig(riding_threshold=0.4, riding_resume=0.3)
+
+
+def test_resolve_adaptivity_params_maps_modes_to_threats():
+    for mode, threat in ADAPTIVITY_THREATS.items():
+        resolved = resolve_adaptivity_params({"adaptivity": mode})
+        assert resolved["threat"] == threat
+    explicit = resolve_adaptivity_params(
+        {"adaptivity": "throttling", "threat": "link-spoofing"})
+    assert explicit["threat"] == "link-spoofing"    # explicit threat wins
+    with pytest.raises(ValueError):
+        resolve_adaptivity_params({"adaptivity": "clever"})
+
+
+# ------------------------------------------------------- oracle round dynamics
+def test_throttling_adversary_outlives_static_2x_in_the_round_loop():
+    """The tentpole's flagship number on the experiment's own defaults: the
+    threshold rider survives at least twice as long as the paper's static
+    adversary (here: the whole horizon, never distrusted)."""
+    rounds = 40
+    static = RoundBasedExperiment(
+        ScenarioConfig(rounds=rounds, adaptivity="static",
+                       random_initial_trust=False)).run()
+    throttling = RoundBasedExperiment(
+        ScenarioConfig(rounds=rounds, adaptivity="throttling",
+                       random_initial_trust=False)).run()
+
+    static_ttd = time_to_distrust(static)
+    throttling_ttd = time_to_distrust(throttling)
+    assert static_ttd is not None
+    horizon = rounds if throttling_ttd is None else throttling_ttd
+    assert horizon >= 2 * static_ttd
+
+    # The rider paused (some rounds ran without an investigation) but did
+    # attack first — this is riding, not abstinence.
+    investigated = [r for r in throttling.rounds if r.detect_value is not None]
+    assert 0 < len(investigated) < rounds
+    assert investigated[0].round_index == 0
+
+
+def test_rotating_adversary_keeps_its_liars_alive():
+    rounds = 30
+    config = dict(rounds=rounds, liar_count=4, random_initial_trust=False)
+    static = RoundBasedExperiment(
+        ScenarioConfig(adaptivity="static", **config)).run()
+    rotating = RoundBasedExperiment(
+        ScenarioConfig(adaptivity="rotating", **config)).run()
+
+    def min_final_liar_trust(result):
+        final = result.rounds[-1].trust_snapshot
+        return min(final[liar] for liar in result.liars)
+
+    assert min_final_liar_trust(rotating) > min_final_liar_trust(static)
+
+
+def test_static_adaptivity_reproduces_the_legacy_round_loop_exactly():
+    """The adaptivity machinery must be invisible at adaptivity='static':
+    bit-identical rounds to a config that never mentions it."""
+    legacy = RoundBasedExperiment(ScenarioConfig(rounds=12)).run()
+    static = RoundBasedExperiment(
+        ScenarioConfig(rounds=12, adaptivity="static")).run()
+    assert [r.trust_snapshot for r in static.rounds] == \
+        [r.trust_snapshot for r in legacy.rounds]
+    assert [r.detect_value for r in static.rounds] == \
+        [r.detect_value for r in legacy.rounds]
+
+
+# ------------------------------------------------------------- the experiment
+def test_adaptivity_experiment_is_registered_with_three_modes():
+    definition = get_experiment("adaptivity")
+    assert definition.axes["adaptivity"] == ("static", "throttling", "rotating")
+    assert definition.default_backend == "oracle"
+    assert len(definition.expand()) == 3
+
+
+def test_adaptivity_experiment_rows_report_detection_delays():
+    result = run_experiment("adaptivity")
+    rows = {row["adaptivity"]: row for row in result.rows()}
+    assert set(rows) == {"static", "throttling", "rotating"}
+
+    static_ttd = rows["static"]["time_to_distrust"]
+    assert static_ttd is not None
+    throttling_ttd = rows["throttling"]["time_to_distrust"]
+    horizon = rows["throttling"]["rounds"] if throttling_ttd is None else throttling_ttd
+    assert horizon >= 2 * static_ttd
+    # The rotating clique's payoff is liar survival, not attacker survival.
+    assert rows["rotating"]["liars_distrusted"] < rows["static"]["liars_distrusted"]
+
+
+def test_adaptivity_experiment_resumes_byte_identically(tmp_path):
+    reference = run_experiment("adaptivity").format_report()
+
+    path = str(tmp_path / "adaptivity.sqlite")
+    with ResultsStore(path) as store:
+        partial = run_experiment("adaptivity", store=store, max_new_runs=2)
+        assert len(partial.executed_run_ids) == 2
+
+    with ResultsStore(path) as store:
+        resumed = run_experiment("adaptivity", store=store)
+        assert len(resumed.skipped_run_ids) == 2
+        assert len(resumed.executed_run_ids) == 1
+        assert resumed.format_report() == reference
+
+    with ResultsStore(path) as store:
+        replay = run_experiment("adaptivity", store=store)
+        assert replay.executed_run_ids == []
+        assert replay.format_report() == reference

@@ -26,8 +26,16 @@ from repro.seeding import stable_digest, stable_seed
 #: corpus: it is deterministic, so one green run means green forever.
 def derivation_corpus() -> list:
     labels = ["loss-model", "mobility", "oracle-transport", "grayhole",
-              "self-liar", "clique"]
+              "self-liar", "clique", "base-grayhole", "threshold-grayhole",
+              "initial-trust"]
     labels += [f"liar:n{i:02d}" for i in range(64)]
+    # Install-time per-node attack streams (base seed 0 in production, but
+    # collision-freedom must hold under any base).
+    labels += [f"attack:grayhole:n{i:02d}" for i in range(32)]
+    labels += [f"attack:liar:n{i:02d}" for i in range(32)]
+    labels += [f"attack:threshold-grayhole:n{i:02d}" for i in range(16)]
+    labels += [f"attack-search:{gen}:{child}"
+               for gen in range(8) for child in range(8)]
     labels += [f"clique:n{i:02d}@{epoch}" for i in range(16) for epoch in range(12)]
     labels += [f"fuzz:{i}" for i in range(256)]
     labels += [f"fuzz-seed:{i}" for i in range(256)]
